@@ -1,0 +1,35 @@
+# Ah-Q reproduction build targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench results fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One testing.B entry per paper table/figure (quick horizons).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper artifact at full horizons into results/.
+results:
+	mkdir -p results
+	$(GO) run ./cmd/ahqbench -all -csv results/csv | tee results/full_run.txt
+
+fuzz:
+	$(GO) test -fuzz FuzzP2VsExact -fuzztime 20s ./internal/metrics/
+	$(GO) test -fuzz FuzzPercentile -fuzztime 20s ./internal/metrics/
+
+clean:
+	rm -rf results

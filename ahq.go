@@ -1,0 +1,212 @@
+// Package ahq is the public API of the Ah-Q reproduction: the system
+// entropy theory (E_S) for quantifying datacenter interference, the ARQ
+// scheduling strategy that uses it as a feedback signal, the baseline
+// strategies it is evaluated against (Unmanaged, LC-first, PARTIES, CLITE),
+// and the simulated node + workload models the evaluation runs on.
+//
+// # Quantifying interference
+//
+// Build entropy samples from measurements of any system — real or
+// simulated — and fold them into a single dimensionless figure of merit:
+//
+//	lc := []ahq.LCSample{{Name: "xapian", IdealMs: 2.77, MeasuredMs: 6.1, TargetMs: 4.22}}
+//	be := []ahq.BESample{{Name: "stream", SoloIPC: 0.60, MeasuredIPC: 0.31}}
+//	elc, ebe, es, err := ahq.SystemEntropy{RI: 0.8}.Compute(lc, be)
+//
+// # Running a collocation under a strategy
+//
+//	engine, _ := ahq.NewEngine(ahq.EngineConfig{
+//		Spec: ahq.DefaultSpec(),
+//		Seed: 1,
+//		Apps: []ahq.AppConfig{
+//			ahq.LCAppAt("xapian", 0.5),
+//			ahq.BEApp("stream"),
+//		},
+//	})
+//	res, _ := ahq.Run(engine, ahq.NewARQ(), ahq.RunOptions{})
+//	fmt.Println(res.MeanES, res.Yield)
+//
+// The subpackages under internal/ hold the implementation; this package
+// re-exports the stable surface.
+package ahq
+
+import (
+	"ahq/internal/cluster"
+	"ahq/internal/core"
+	"ahq/internal/entropy"
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+	"ahq/internal/sched/arq"
+	"ahq/internal/sched/clite"
+	"ahq/internal/sched/heracles"
+	"ahq/internal/sched/parties"
+	"ahq/internal/sched/static"
+	"ahq/internal/sim"
+	"ahq/internal/trace"
+	"ahq/internal/workload"
+)
+
+// Entropy theory (paper Section II).
+type (
+	// LCSample is one latency-critical application's (TL_i0, TL_i1, M_i).
+	LCSample = entropy.LCSample
+	// BESample is one best-effort application's (IPC_solo, IPC_real).
+	BESample = entropy.BESample
+	// SystemEntropy combines class entropies with a relative importance.
+	SystemEntropy = entropy.System
+	// EquivalenceCurve is an empirical E_S(resource) relation.
+	EquivalenceCurve = entropy.Curve
+	// EquivalencePoint is one (resource, E_S) measurement.
+	EquivalencePoint = entropy.Point
+)
+
+// DefaultRI is the paper's relative importance of LC over BE (0.8).
+const DefaultRI = entropy.DefaultRI
+
+// ELC returns the LC entropy (Eq. 5).
+func ELC(samples []LCSample) (float64, error) { return entropy.ELC(samples) }
+
+// EBE returns the BE entropy (Eq. 6).
+func EBE(samples []BESample) (float64, error) { return entropy.EBE(samples) }
+
+// Yield returns the ratio of satisfied LC applications.
+func Yield(samples []LCSample) (float64, error) { return entropy.Yield(samples) }
+
+// NewEquivalenceCurve builds a curve for resource-equivalence queries.
+func NewEquivalenceCurve(points []EquivalencePoint) (*EquivalenceCurve, error) {
+	return entropy.NewCurve(points)
+}
+
+// ResourceEquivalence is entropy.Equivalence: the resources the baseline
+// curve needs beyond the better curve at equal E_S.
+func ResourceEquivalence(baseline, better *EquivalenceCurve, es float64) (float64, error) {
+	return entropy.Equivalence(baseline, better, es)
+}
+
+// Machine model.
+type (
+	// Spec is a node's capacity (cores, LLC ways, memory bandwidth).
+	Spec = machine.Spec
+	// Allocation partitions a node into isolated and shared regions.
+	Allocation = machine.Allocation
+	// Region is one resource region.
+	Region = machine.Region
+	// Resource identifies a schedulable resource kind.
+	Resource = machine.Resource
+)
+
+// DefaultSpec returns the paper's 10-core, 20-way evaluation node.
+func DefaultSpec() Spec { return machine.DefaultSpec() }
+
+// Workloads.
+type (
+	// LCWorkload models a Tailbench-style latency-critical service.
+	LCWorkload = workload.LCApp
+	// BEWorkload models a PARSEC/STREAM-style best-effort program.
+	BEWorkload = workload.BEApp
+	// LoadTrace yields an LC application's offered load over time.
+	LoadTrace = trace.Load
+)
+
+// LCWorkloadByName returns a calibrated catalog model ("xapian", "moses",
+// "img-dnn", "masstree", "sphinx", "silo").
+func LCWorkloadByName(name string) (LCWorkload, error) { return workload.LCByName(name) }
+
+// BEWorkloadByName returns a catalog model ("fluidanimate", "stream",
+// "streamcluster").
+func BEWorkloadByName(name string) (BEWorkload, error) { return workload.BEByName(name) }
+
+// ConstantLoad is a fixed load fraction.
+func ConstantLoad(frac float64) LoadTrace { return trace.Constant(frac) }
+
+// Simulation engine.
+type (
+	// EngineConfig configures a simulated node.
+	EngineConfig = sim.Config
+	// Engine simulates the node.
+	Engine = sim.Engine
+	// AppConfig attaches one workload to the node.
+	AppConfig = sim.AppConfig
+)
+
+// NewEngine builds a simulated node.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return sim.New(cfg) }
+
+// LCAppAt is a convenience constructor: a catalog LC application at a
+// constant fraction of its max load. It panics on unknown names; use
+// LCWorkloadByName for error handling.
+func LCAppAt(name string, load float64) AppConfig {
+	app := workload.MustLC(name)
+	return AppConfig{LC: &app, Load: trace.Constant(load)}
+}
+
+// BEApp is a convenience constructor for a catalog BE application. It
+// panics on unknown names.
+func BEApp(name string) AppConfig {
+	app := workload.MustBE(name)
+	return AppConfig{BE: &app}
+}
+
+// Strategies.
+type (
+	// Strategy is a resource-scheduling policy.
+	Strategy = sched.Strategy
+	// Telemetry is one monitoring epoch's observation.
+	Telemetry = sched.Telemetry
+)
+
+// NewARQ returns the paper's ARQ strategy with default constants.
+func NewARQ() Strategy { return arq.Default() }
+
+// NewPARTIES returns the PARTIES baseline.
+func NewPARTIES() Strategy { return parties.Default() }
+
+// NewCLITE returns the CLITE baseline with the given search seed.
+func NewCLITE(seed int64) Strategy {
+	cfg := clite.DefaultConfig()
+	cfg.Seed = seed
+	return clite.New(cfg)
+}
+
+// NewHeracles returns the Heracles-style threshold baseline (extension;
+// discussed in the paper's related work).
+func NewHeracles() Strategy { return heracles.Default() }
+
+// NewUnmanaged returns the OS-default baseline (CFS, no isolation).
+func NewUnmanaged() Strategy { return static.Unmanaged{} }
+
+// NewLCFirst returns the real-time-priority baseline.
+func NewLCFirst() Strategy { return static.LCFirst{} }
+
+// Controller.
+type (
+	// RunOptions configure a controlled run.
+	RunOptions = core.Options
+	// RunResult is the outcome of a controlled run.
+	RunResult = core.Result
+)
+
+// Run drives an engine under a strategy through the Ah-Q controller.
+func Run(engine *Engine, strategy Strategy, opts RunOptions) (*RunResult, error) {
+	return core.Run(engine, strategy, opts)
+}
+
+// Multi-node fleet (extension; see internal/cluster).
+type (
+	// ClusterConfig describes a homogeneous multi-node run.
+	ClusterConfig = cluster.Config
+	// ClusterResult aggregates per-node results and the fleet-wide E_S.
+	ClusterResult = cluster.Result
+)
+
+// RunCluster drives several nodes, each under its own controller, and
+// aggregates the datacenter-level entropy.
+func RunCluster(cfg ClusterConfig, opts RunOptions) (*ClusterResult, error) {
+	return cluster.Run(cfg, opts)
+}
+
+// BalancedPlacement spreads applications over nodes by estimated demand
+// (longest-processing-time bin packing).
+func BalancedPlacement(apps []AppConfig, nodes int) ([][]AppConfig, error) {
+	return cluster.Balanced(apps, nodes)
+}

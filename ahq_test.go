@@ -1,0 +1,133 @@
+package ahq_test
+
+import (
+	"math"
+	"testing"
+
+	"ahq"
+)
+
+func TestEntropyFacade(t *testing.T) {
+	lc := []ahq.LCSample{{Name: "xapian", IdealMs: 2.77, MeasuredMs: 23.99, TargetMs: 4.22}}
+	be := []ahq.BESample{{Name: "stream", SoloIPC: 0.6, MeasuredIPC: 0.3}}
+	elc, ebe, es, err := ahq.SystemEntropy{RI: ahq.DefaultRI}.Compute(lc, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(elc-0.824) > 0.01 {
+		t.Errorf("E_LC = %.3f, want ~0.82 (Table II xapian row)", elc)
+	}
+	if math.Abs(ebe-0.5) > 1e-9 {
+		t.Errorf("E_BE = %.3f", ebe)
+	}
+	if es <= 0 || es >= 1 {
+		t.Errorf("E_S = %.3f", es)
+	}
+	y, err := ahq.Yield(lc)
+	if err != nil || y != 0 {
+		t.Errorf("Yield = %g (%v)", y, err)
+	}
+}
+
+func TestEndToEndARQBeatsUnmanagedUnderStream(t *testing.T) {
+	// The paper's bottom line, through the public API alone: with STREAM
+	// interference at moderate load, ARQ achieves lower system entropy
+	// than the OS default.
+	run := func(s ahq.Strategy) *ahq.RunResult {
+		engine, err := ahq.NewEngine(ahq.EngineConfig{
+			Spec: ahq.DefaultSpec(),
+			Seed: 99,
+			Apps: []ahq.AppConfig{
+				ahq.LCAppAt("xapian", 0.50),
+				ahq.LCAppAt("moses", 0.20),
+				ahq.BEApp("stream"),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ahq.Run(engine, s, ahq.RunOptions{WarmupMs: 4_000, DurationMs: 10_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	unmanaged := run(ahq.NewUnmanaged())
+	arq := run(ahq.NewARQ())
+	if arq.MeanES >= unmanaged.MeanES {
+		t.Errorf("ARQ E_S %.3f >= Unmanaged E_S %.3f", arq.MeanES, unmanaged.MeanES)
+	}
+	if arq.Yield < unmanaged.Yield {
+		t.Errorf("ARQ yield %.2f < Unmanaged %.2f", arq.Yield, unmanaged.Yield)
+	}
+}
+
+func TestResourceEquivalenceFacade(t *testing.T) {
+	base, err := ahq.NewEquivalenceCurve([]ahq.EquivalencePoint{
+		{Resource: 4, ES: 0.8}, {Resource: 8, ES: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	better, err := ahq.NewEquivalenceCurve([]ahq.EquivalencePoint{
+		{Resource: 4, ES: 0.4}, {Resource: 8, ES: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := ahq.ResourceEquivalence(base, better, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq <= 0 {
+		t.Errorf("equivalence = %g, want positive", eq)
+	}
+}
+
+func TestWorkloadCatalogFacade(t *testing.T) {
+	app, err := ahq.LCWorkloadByName("xapian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.QoSTargetMs != 4.22 {
+		t.Errorf("xapian target = %g", app.QoSTargetMs)
+	}
+	if _, err := ahq.LCWorkloadByName("nope"); err == nil {
+		t.Error("unknown LC accepted")
+	}
+	be, err := ahq.BEWorkloadByName("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.Threads != 10 {
+		t.Errorf("stream threads = %d", be.Threads)
+	}
+	if got := ahq.ConstantLoad(0.4).At(123); got != 0.4 {
+		t.Errorf("ConstantLoad.At = %g", got)
+	}
+}
+
+func TestAllStrategiesRunThroughFacade(t *testing.T) {
+	for _, s := range []ahq.Strategy{
+		ahq.NewUnmanaged(), ahq.NewLCFirst(), ahq.NewPARTIES(), ahq.NewCLITE(1), ahq.NewARQ(),
+	} {
+		engine, err := ahq.NewEngine(ahq.EngineConfig{
+			Spec: ahq.DefaultSpec(),
+			Seed: 5,
+			Apps: []ahq.AppConfig{
+				ahq.LCAppAt("img-dnn", 0.30),
+				ahq.BEApp("fluidanimate"),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ahq.Run(engine, s, ahq.RunOptions{WarmupMs: 1_500, DurationMs: 4_000})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.Epochs == 0 || math.IsNaN(res.MeanES) {
+			t.Errorf("%s: empty result", s.Name())
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// The benchmark harness: one Benchmark per table and figure of the paper's
+// evaluation (DESIGN.md §4), plus micro-benchmarks of the hot paths.
+//
+// Each figure benchmark regenerates its artifact end-to-end — workload
+// generation, simulation, scheduling, entropy — in the quick configuration
+// and reports the experiment's key quantity as a custom metric. The full
+// horizons (the exact rows in EXPERIMENTS.md) are produced by
+//
+//	go run ./cmd/ahqbench -run <id>
+package ahq_test
+
+import (
+	"testing"
+
+	"ahq/internal/entropy"
+	"ahq/internal/experiments"
+	"ahq/internal/machine"
+	"ahq/internal/metrics"
+	"ahq/internal/sched/arq"
+	"ahq/internal/sim"
+	"ahq/internal/trace"
+	"ahq/internal/workload"
+
+	"ahq"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	d, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Run(experiments.RunConfig{Seed: int64(i + 1), Quick: true}); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B)     { benchExperiment(b, "fig1") }
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkFig2(b *testing.B)     { benchExperiment(b, "fig2") }
+func BenchmarkFig3a(b *testing.B)    { benchExperiment(b, "fig3a") }
+func BenchmarkFig3b(b *testing.B)    { benchExperiment(b, "fig3b") }
+func BenchmarkFig4(b *testing.B)     { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)     { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)     { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkHeadline(b *testing.B) { benchExperiment(b, "headline") }
+
+func BenchmarkAblationInterval(b *testing.B) { benchExperiment(b, "ablation-interval") }
+func BenchmarkAblationARQ(b *testing.B)      { benchExperiment(b, "ablation-arq") }
+func BenchmarkAblationRI(b *testing.B)       { benchExperiment(b, "ablation-ri") }
+func BenchmarkAblationTunables(b *testing.B) { benchExperiment(b, "ablation-tunables") }
+func BenchmarkExtWeighted(b *testing.B)      { benchExperiment(b, "ext-weighted") }
+func BenchmarkExtHeracles(b *testing.B)      { benchExperiment(b, "ext-heracles") }
+func BenchmarkExtCluster(b *testing.B)       { benchExperiment(b, "ext-cluster") }
+func BenchmarkExtBigNode(b *testing.B)       { benchExperiment(b, "ext-bignode") }
+
+// --- micro-benchmarks of the substrate hot paths ------------------------
+
+// BenchmarkEngineTick measures the simulator's cost per tick under the
+// paper's standard four-application mix.
+func BenchmarkEngineTick(b *testing.B) {
+	x, m, i := workload.MustLC("xapian"), workload.MustLC("moses"), workload.MustLC("img-dnn")
+	s := workload.MustBE("stream")
+	e, err := sim.New(sim.Config{
+		Spec: machine.DefaultSpec(),
+		Seed: 1,
+		Apps: []sim.AppConfig{
+			{LC: &x, Load: trace.Constant(0.5)},
+			{LC: &m, Load: trace.Constant(0.2)},
+			{LC: &i, Load: trace.Constant(0.2)},
+			{BE: &s},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEntropyCompute measures the metric itself: the per-epoch cost a
+// production controller would pay.
+func BenchmarkEntropyCompute(b *testing.B) {
+	lc := []entropy.LCSample{
+		{IdealMs: 2.77, MeasuredMs: 6.2, TargetMs: 4.22},
+		{IdealMs: 2.80, MeasuredMs: 3.9, TargetMs: 10.53},
+		{IdealMs: 1.41, MeasuredMs: 2.2, TargetMs: 3.98},
+		{IdealMs: 0.70, MeasuredMs: 1.2, TargetMs: 1.05},
+		{IdealMs: 1500, MeasuredMs: 1900, TargetMs: 2682},
+		{IdealMs: 0.85, MeasuredMs: 0.9, TargetMs: 1.27},
+	}
+	be := []entropy.BESample{
+		{SoloIPC: 2.7, MeasuredIPC: 1.3},
+		{SoloIPC: 0.6, MeasuredIPC: 0.2},
+	}
+	sys := entropy.System{RI: 0.8}
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if _, _, _, err := sys.Compute(lc, be); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkARQDecide measures one scheduling decision.
+func BenchmarkARQDecide(b *testing.B) {
+	s := arq.Default()
+	engine, err := ahq.NewEngine(ahq.EngineConfig{
+		Spec: ahq.DefaultSpec(),
+		Seed: 1,
+		Apps: []ahq.AppConfig{
+			ahq.LCAppAt("xapian", 0.5),
+			ahq.LCAppAt("moses", 0.2),
+			ahq.LCAppAt("img-dnn", 0.2),
+			ahq.BEApp("stream"),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc := s.Init(engine.Spec(), engine.AppSpecs())
+	if err := engine.SetAllocation(alloc); err != nil {
+		b.Fatal(err)
+	}
+	windows := engine.RunWindow(500)
+	tel := ahq.Telemetry{TimeMs: 500, Apps: windows, ES: 0.3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		alloc = s.Decide(tel, alloc)
+		tel.TimeMs += 500
+	}
+}
+
+// BenchmarkWindowPercentile measures tail extraction for a realistic
+// window volume (one epoch of img-dnn near max load).
+func BenchmarkWindowPercentile(b *testing.B) {
+	var w metrics.LatencyWindow
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		b.StopTimer()
+		for i := 0; i < 2500; i++ {
+			w.Observe(float64((i*2654435761)%1000) / 100)
+		}
+		b.StartTimer()
+		w.Snapshot()
+	}
+}

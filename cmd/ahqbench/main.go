@@ -1,0 +1,89 @@
+// Command ahqbench regenerates the paper's tables and figures on the
+// simulated node.
+//
+// Usage:
+//
+//	ahqbench -list
+//	ahqbench -run table2
+//	ahqbench -run fig8 -seed 7
+//	ahqbench -all
+//
+// Output is plain text; heatmap/timeline experiments additionally emit CSV
+// rows suitable for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ahq/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		runID  = flag.String("run", "", "experiment id to run (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		quick  = flag.Bool("quick", false, "short horizons (smoke test)")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range experiments.All() {
+			fmt.Printf("%-10s %s\n", d.ID, d.Title)
+		}
+		return
+	}
+
+	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick}
+	var ids []string
+	switch {
+	case *all:
+		for _, d := range experiments.All() {
+			ids = append(ids, d.ID)
+		}
+	case *runID != "":
+		ids = []string{*runID}
+	default:
+		fmt.Fprintln(os.Stderr, "ahqbench: need -run <id>, -all or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := runAll(os.Stdout, ids, cfg, *csvDir); err != nil {
+		fmt.Fprintf(os.Stderr, "ahqbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runAll executes the experiments in order, printing each result (and CSV
+// files when csvDir is set) to w.
+func runAll(w io.Writer, ids []string, cfg experiments.RunConfig, csvDir string) error {
+	for _, id := range ids {
+		d, ok := experiments.Lookup(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", id)
+		}
+		start := time.Now()
+		res, err := d.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		res.Fprint(w)
+		if csvDir != "" {
+			files, err := res.SaveCSVs(csvDir)
+			if err != nil {
+				return fmt.Errorf("%s: csv: %w", id, err)
+			}
+			fmt.Fprintf(w, "(csv: %s)\n", strings.Join(files, ", "))
+		}
+		fmt.Fprintf(w, "(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ahq/internal/experiments"
+)
+
+func TestRunAllUnknownID(t *testing.T) {
+	var b strings.Builder
+	err := runAll(&b, []string{"nope"}, experiments.RunConfig{Seed: 1, Quick: true}, "")
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunAllFig4(t *testing.T) {
+	var b strings.Builder
+	if err := runAll(&b, []string{"fig4"}, experiments.RunConfig{Seed: 1, Quick: true}, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fig4", "isolated to LC1", "finished in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := runAll(&b, []string{"fig4"}, experiments.RunConfig{Seed: 1, Quick: true}, dir); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "fig4_*.csv"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no CSV written (%v)", err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "scheme") {
+		t.Errorf("csv content: %q", data)
+	}
+}

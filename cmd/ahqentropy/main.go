@@ -1,0 +1,140 @@
+// Command ahqentropy computes the system entropy report from a CSV of
+// measurements, so the metric can be applied to any system — not just the
+// bundled simulator.
+//
+// Input format (header required; class is "lc" or "be"):
+//
+//	class,name,ideal_ms,measured_ms,target_ms,solo_ipc,measured_ipc
+//	lc,xapian,2.77,6.10,4.22,,
+//	lc,moses,2.80,3.90,10.53,,
+//	be,stream,,,,0.60,0.31
+//
+// Usage:
+//
+//	ahqentropy -ri 0.8 measurements.csv
+//	cat measurements.csv | ahqentropy
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"ahq/internal/entropy"
+)
+
+func main() {
+	ri := flag.Float64("ri", entropy.DefaultRI, "relative importance of LC applications, in [0,1]")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatalf("ahqentropy: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	lc, be, err := parseCSV(in)
+	if err != nil {
+		log.Fatalf("ahqentropy: %v", err)
+	}
+
+	sys := entropy.System{RI: *ri}
+	elc, ebe, es, err := sys.Compute(lc, be)
+	if err != nil {
+		log.Fatalf("ahqentropy: %v", err)
+	}
+
+	fmt.Printf("%-12s %8s %8s %8s %8s %8s\n", "LC app", "TL_i0", "TL_i1", "M_i", "ReT_i", "Q_i")
+	for _, s := range lc {
+		fmt.Printf("%-12s %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			s.Name, s.IdealMs, s.MeasuredMs, s.TargetMs, s.RemainingTolerance(), s.Intolerable())
+	}
+	fmt.Printf("%-12s %8s %8s %8s\n", "BE app", "solo", "real", "slowdn")
+	for _, s := range be {
+		fmt.Printf("%-12s %8.3f %8.3f %8.3f\n", s.Name, s.SoloIPC, s.MeasuredIPC, s.Slowdown())
+	}
+	fmt.Printf("\nE_LC = %.4f\nE_BE = %.4f\nE_S  = %.4f (RI %.2f)\n", elc, ebe, es, *ri)
+	if y, err := entropy.Yield(lc); err == nil {
+		fmt.Printf("yield = %.0f%%\n", 100*y)
+	}
+}
+
+// parseCSV reads the measurement file.
+func parseCSV(in io.Reader) ([]entropy.LCSample, []entropy.BESample, error) {
+	r := csv.NewReader(in)
+	r.TrimLeadingSpace = true
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rows) < 2 {
+		return nil, nil, fmt.Errorf("need a header row and at least one measurement")
+	}
+	col := map[string]int{}
+	for i, h := range rows[0] {
+		col[strings.ToLower(strings.TrimSpace(h))] = i
+	}
+	for _, need := range []string{"class", "name"} {
+		if _, ok := col[need]; !ok {
+			return nil, nil, fmt.Errorf("missing column %q", need)
+		}
+	}
+	get := func(row []string, name string) (float64, error) {
+		i, ok := col[name]
+		if !ok || i >= len(row) || strings.TrimSpace(row[i]) == "" {
+			return 0, fmt.Errorf("missing value %q", name)
+		}
+		return strconv.ParseFloat(strings.TrimSpace(row[i]), 64)
+	}
+	var lc []entropy.LCSample
+	var be []entropy.BESample
+	for n, row := range rows[1:] {
+		class := strings.ToLower(strings.TrimSpace(row[col["class"]]))
+		name := strings.TrimSpace(row[col["name"]])
+		switch class {
+		case "lc":
+			ideal, err := get(row, "ideal_ms")
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d (%s): %v", n+2, name, err)
+			}
+			meas, err := get(row, "measured_ms")
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d (%s): %v", n+2, name, err)
+			}
+			target, err := get(row, "target_ms")
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d (%s): %v", n+2, name, err)
+			}
+			s := entropy.LCSample{Name: name, IdealMs: ideal, MeasuredMs: meas, TargetMs: target}
+			if err := s.Validate(); err != nil {
+				return nil, nil, fmt.Errorf("row %d: %v", n+2, err)
+			}
+			lc = append(lc, s)
+		case "be":
+			solo, err := get(row, "solo_ipc")
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d (%s): %v", n+2, name, err)
+			}
+			meas, err := get(row, "measured_ipc")
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d (%s): %v", n+2, name, err)
+			}
+			s := entropy.BESample{Name: name, SoloIPC: solo, MeasuredIPC: meas}
+			if err := s.Validate(); err != nil {
+				return nil, nil, fmt.Errorf("row %d: %v", n+2, err)
+			}
+			be = append(be, s)
+		default:
+			return nil, nil, fmt.Errorf("row %d: class %q must be lc or be", n+2, class)
+		}
+	}
+	return lc, be, nil
+}

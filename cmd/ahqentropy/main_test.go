@@ -1,0 +1,58 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `class,name,ideal_ms,measured_ms,target_ms,solo_ipc,measured_ipc
+lc,xapian,2.77,6.10,4.22,,
+lc,moses,2.80,3.90,10.53,,
+be,stream,,,,0.60,0.31
+`
+
+func TestParseCSV(t *testing.T) {
+	lc, be, err := parseCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lc) != 2 || len(be) != 1 {
+		t.Fatalf("got %d LC, %d BE", len(lc), len(be))
+	}
+	if lc[0].Name != "xapian" || lc[0].MeasuredMs != 6.10 {
+		t.Errorf("lc[0] = %+v", lc[0])
+	}
+	if math.Abs(be[0].Slowdown()-0.60/0.31) > 1e-9 {
+		t.Errorf("stream slowdown = %g", be[0].Slowdown())
+	}
+}
+
+func TestParseCSVColumnOrderIndependent(t *testing.T) {
+	csv := `name,class,target_ms,ideal_ms,measured_ms,solo_ipc,measured_ipc
+xapian,lc,4.22,2.77,6.10,,
+`
+	lc, _, err := parseCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lc) != 1 || lc[0].TargetMs != 4.22 {
+		t.Fatalf("lc = %+v", lc)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"no rows":        "class,name\n",
+		"missing header": "foo,bar\nlc,xapian\n",
+		"bad class":      "class,name,ideal_ms,measured_ms,target_ms\nxx,app,1,2,3\n",
+		"missing value":  "class,name,ideal_ms,measured_ms,target_ms\nlc,app,1,,3\n",
+		"invalid sample": "class,name,ideal_ms,measured_ms,target_ms\nlc,app,5,6,3\n",
+		"bad be":         "class,name,solo_ipc,measured_ipc\nbe,app,0,1\n",
+	}
+	for label, csv := range cases {
+		if _, _, err := parseCSV(strings.NewReader(csv)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command ahqload synthesises load-trace CSV files for replay against the
+// simulator (sim via trace.ReadCSV, or ahqd's "app:@file.csv" mix syntax).
+//
+// Usage:
+//
+//	ahqload -kind fig13 > xapian.csv
+//	ahqload -kind diurnal -period 120 -lo 0.1 -hi 0.9 -duration 600 > day.csv
+//	ahqload -kind spike -base 0.2 -peak 0.9 -at 60 -width 30 -duration 300
+//	ahqload -kind steps -levels 0.1,0.5,0.9,0.3 -hold 30
+//
+// Times are seconds, loads are fractions of each application's max load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"ahq/internal/trace"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "fig13", "trace kind: fig13|diurnal|spike|steps")
+		duration = flag.Float64("duration", 300, "trace length in seconds")
+		period   = flag.Float64("period", 120, "diurnal period in seconds")
+		lo       = flag.Float64("lo", 0.1, "diurnal low load")
+		hi       = flag.Float64("hi", 0.9, "diurnal high load")
+		base     = flag.Float64("base", 0.2, "spike baseline load")
+		peak     = flag.Float64("peak", 0.9, "spike peak load")
+		at       = flag.Float64("at", 60, "spike start in seconds")
+		width    = flag.Float64("width", 30, "spike width in seconds")
+		levels   = flag.String("levels", "0.1,0.5,0.9,0.3", "steps: comma-separated loads")
+		hold     = flag.Float64("hold", 30, "steps: seconds per level")
+		step     = flag.Float64("step", 5, "sampling interval in seconds for smooth kinds")
+	)
+	flag.Parse()
+
+	profile, err := build(*kind, buildParams{
+		duration: *duration, period: *period, lo: *lo, hi: *hi,
+		base: *base, peak: *peak, at: *at, width: *width,
+		levels: *levels, hold: *hold, step: *step,
+	})
+	if err != nil {
+		log.Fatalf("ahqload: %v", err)
+	}
+	if err := profile.WriteCSV(os.Stdout); err != nil {
+		log.Fatalf("ahqload: %v", err)
+	}
+}
+
+type buildParams struct {
+	duration, period, lo, hi float64
+	base, peak, at, width    float64
+	hold, step               float64
+	levels                   string
+}
+
+// build synthesises the requested profile as a step trace.
+func build(kind string, p buildParams) (trace.Steps, error) {
+	switch kind {
+	case "fig13":
+		return trace.Fig13Xapian(), nil
+	case "diurnal":
+		if p.step <= 0 || p.duration <= 0 {
+			return nil, fmt.Errorf("diurnal needs positive -step and -duration")
+		}
+		d := trace.Diurnal{Lo: p.lo, Hi: p.hi, PeriodMs: p.period * 1000}
+		var steps []trace.Step
+		for t := 0.0; t < p.duration; t += p.step {
+			steps = append(steps, trace.Step{StartMs: t * 1000, Frac: d.At(t * 1000)})
+		}
+		return trace.NewSteps(steps...)
+	case "spike":
+		if p.at < 0 || p.width <= 0 {
+			return nil, fmt.Errorf("spike needs -at >= 0 and -width > 0")
+		}
+		return trace.NewSteps(
+			trace.Step{StartMs: 0, Frac: p.base},
+			trace.Step{StartMs: p.at * 1000, Frac: p.peak},
+			trace.Step{StartMs: (p.at + p.width) * 1000, Frac: p.base},
+		)
+	case "steps":
+		parts := strings.Split(p.levels, ",")
+		if len(parts) == 0 || p.hold <= 0 {
+			return nil, fmt.Errorf("steps needs -levels and positive -hold")
+		}
+		var steps []trace.Step
+		for i, part := range parts {
+			frac, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad level %q", part)
+			}
+			steps = append(steps, trace.Step{StartMs: float64(i) * p.hold * 1000, Frac: frac})
+		}
+		return trace.NewSteps(steps...)
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ahq/internal/trace"
+)
+
+func params() buildParams {
+	return buildParams{
+		duration: 300, period: 120, lo: 0.1, hi: 0.9,
+		base: 0.2, peak: 0.9, at: 60, width: 30,
+		levels: "0.1,0.5,0.9", hold: 30, step: 5,
+	}
+}
+
+func TestBuildFig13(t *testing.T) {
+	s, err := build("fig13", params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(130_000) != 0.9 {
+		t.Errorf("fig13 peak = %g", s.At(130_000))
+	}
+}
+
+func TestBuildSpike(t *testing.T) {
+	s, err := build("spike", params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0) != 0.2 || s.At(70_000) != 0.9 || s.At(100_000) != 0.2 {
+		t.Errorf("spike profile wrong: %g %g %g", s.At(0), s.At(70_000), s.At(100_000))
+	}
+}
+
+func TestBuildSteps(t *testing.T) {
+	s, err := build("steps", params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0) != 0.1 || s.At(35_000) != 0.5 || s.At(65_000) != 0.9 {
+		t.Errorf("steps profile wrong")
+	}
+}
+
+func TestBuildDiurnalRoundTrips(t *testing.T) {
+	s, err := build("diurnal", params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []float64{0, 60_000, 150_000} {
+		if s.At(tm) != back.At(tm) {
+			t.Errorf("round trip differs at %g", tm)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build("nope", params()); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	p := params()
+	p.levels = "xx"
+	if _, err := build("steps", p); err == nil {
+		t.Error("bad level accepted")
+	}
+	p = params()
+	p.width = 0
+	if _, err := build("spike", p); err == nil {
+		t.Error("zero-width spike accepted")
+	}
+	p = params()
+	p.step = 0
+	if _, err := build("diurnal", p); err == nil {
+		t.Error("zero-step diurnal accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package ahq_test
+
+import (
+	"fmt"
+
+	"ahq"
+)
+
+// Example_entropy computes the system entropy from measurements taken on
+// any system — here the Unmanaged 6-core row of the paper's Table II.
+func Example_entropy() {
+	lc := []ahq.LCSample{
+		{Name: "xapian", IdealMs: 2.77, MeasuredMs: 23.99, TargetMs: 4.22},
+		{Name: "moses", IdealMs: 2.80, MeasuredMs: 16.54, TargetMs: 10.53},
+		{Name: "img-dnn", IdealMs: 1.41, MeasuredMs: 14.35, TargetMs: 3.98},
+	}
+	elc, err := ahq.ELC(lc)
+	if err != nil {
+		panic(err)
+	}
+	yield, err := ahq.Yield(lc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E_LC = %.2f, yield = %.0f%%\n", elc, 100*yield)
+	// Output:
+	// E_LC = 0.64, yield = 0%
+}
+
+// Example_interferenceQuantities shows the per-application quantities that
+// give ARQ its name: tolerance A, suffered interference R, remaining
+// tolerance ReT and intolerable interference Q.
+func Example_interferenceQuantities() {
+	s := ahq.LCSample{Name: "moses", IdealMs: 2.80, MeasuredMs: 6.78, TargetMs: 10.53}
+	fmt.Printf("A = %.2f, R = %.2f, ReT = %.2f, Q = %.2f, satisfied = %v\n",
+		s.Tolerance(), s.Interference(), s.RemainingTolerance(), s.Intolerable(), s.Satisfied())
+	// Output:
+	// A = 0.73, R = 0.59, ReT = 0.36, Q = 0.00, satisfied = true
+}
+
+// ExampleRun collocates two Tailbench services with STREAM on the paper's
+// node and drives them under the ARQ strategy.
+func ExampleRun() {
+	engine, err := ahq.NewEngine(ahq.EngineConfig{
+		Spec: ahq.DefaultSpec(),
+		Seed: 42,
+		Apps: []ahq.AppConfig{
+			ahq.LCAppAt("xapian", 0.30),
+			ahq.LCAppAt("moses", 0.20),
+			ahq.BEApp("stream"),
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := ahq.Run(engine, ahq.NewARQ(), ahq.RunOptions{
+		WarmupMs: 4_000, DurationMs: 10_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("strategy=%s epochs=%d\n", res.Strategy, res.Epochs)
+	fmt.Printf("entropy in range: %v\n", res.MeanES >= 0 && res.MeanES <= 1)
+	// Output:
+	// strategy=arq epochs=20
+	// entropy in range: true
+}
+
+// ExampleResourceEquivalence inverts two measured E_S(cores) curves to ask
+// how many cores a better strategy is worth (paper Section II-C).
+func ExampleResourceEquivalence() {
+	unmanaged, _ := ahq.NewEquivalenceCurve([]ahq.EquivalencePoint{
+		{Resource: 4, ES: 0.86}, {Resource: 6, ES: 0.66},
+		{Resource: 8, ES: 0.16}, {Resource: 10, ES: 0.05},
+	})
+	arq, _ := ahq.NewEquivalenceCurve([]ahq.EquivalencePoint{
+		{Resource: 4, ES: 0.56}, {Resource: 6, ES: 0.18},
+		{Resource: 8, ES: 0.11}, {Resource: 10, ES: 0.07},
+	})
+	saved, err := ahq.ResourceEquivalence(unmanaged, arq, 0.25)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ARQ saves %.1f cores at E_S = 0.25\n", saved)
+	// Output:
+	// ARQ saves 2.0 cores at E_S = 0.25
+}

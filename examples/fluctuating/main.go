@@ -1,0 +1,68 @@
+// Command fluctuating demonstrates the controller under a load swing (the
+// paper's Fig. 13 scenario, shortened): Xapian's load steps 10% -> 70% ->
+// 90% -> 20% while ARQ adapts the isolated/shared split. It prints a
+// timeline of the entropy signal and the allocation so the adaptation is
+// visible epoch by epoch.
+//
+//	go run ./examples/fluctuating
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ahq/internal/machine"
+	"ahq/internal/sim"
+	"ahq/internal/trace"
+	"ahq/internal/workload"
+
+	"ahq"
+)
+
+func main() {
+	profile, err := trace.NewSteps(
+		trace.Step{StartMs: 0, Frac: 0.10},
+		trace.Step{StartMs: 20_000, Frac: 0.70},
+		trace.Step{StartMs: 40_000, Frac: 0.90},
+		trace.Step{StartMs: 60_000, Frac: 0.20},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	xapian := workload.MustLC("xapian")
+	engine, err := sim.New(sim.Config{
+		Spec: machine.DefaultSpec(),
+		Seed: 11,
+		Apps: []sim.AppConfig{
+			{LC: &xapian, Load: profile},
+			ahq.LCAppAt("moses", 0.20),
+			ahq.LCAppAt("img-dnn", 0.20),
+			ahq.BEApp("stream"),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := ahq.Run(engine, ahq.NewARQ(), ahq.RunOptions{
+		WarmupMs:       -1, // measure from the start
+		DurationMs:     80_000,
+		RecordTimeline: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("t(s)  load  E_LC   E_BE   E_S    allocation")
+	for i, rec := range res.Timeline {
+		if i%8 != 0 { // print every 4 s
+			continue
+		}
+		fmt.Printf("%4.0f  %3.0f%%  %.3f  %.3f  %.3f  %s\n",
+			rec.TimeMs/1000, 100*profile.At(rec.TimeMs),
+			rec.ELC, rec.EBE, rec.ES, rec.Allocation)
+	}
+	fmt.Printf("\nviolation epochs: %d of %d; adjustments: %d\n",
+		res.TotalViolationEpochs, res.Epochs, res.Adjustments)
+}

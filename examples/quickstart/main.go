@@ -1,0 +1,68 @@
+// Command quickstart is the smallest end-to-end use of the Ah-Q library:
+// collocate three latency-critical Tailbench services with one best-effort
+// PARSEC application on a simulated 10-core node, run the Unmanaged baseline
+// and the ARQ strategy, and compare their system entropy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ahq/internal/core"
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+	"ahq/internal/sched/arq"
+	"ahq/internal/sched/static"
+	"ahq/internal/sim"
+	"ahq/internal/trace"
+	"ahq/internal/workload"
+)
+
+func main() {
+	spec := machine.DefaultSpec()
+
+	strategies := []sched.Strategy{static.Unmanaged{}, arq.Default()}
+	for _, strat := range strategies {
+		engine, err := sim.New(sim.Config{
+			Spec: spec,
+			Seed: 42,
+			Apps: []sim.AppConfig{
+				lc("xapian", 0.20),
+				lc("moses", 0.20),
+				lc("img-dnn", 0.20),
+				{BE: ptrBE(workload.MustBE("fluidanimate"))},
+			},
+		})
+		if err != nil {
+			log.Fatalf("building engine: %v", err)
+		}
+		res, err := core.Run(engine, strat, core.Options{DurationMs: 20_000})
+		if err != nil {
+			log.Fatalf("running %s: %v", strat.Name(), err)
+		}
+
+		fmt.Printf("=== %s ===\n", strat.Name())
+		fmt.Printf("E_LC=%.3f  E_BE=%.3f  E_S=%.3f  yield=%.0f%%\n",
+			res.MeanELC, res.MeanEBE, res.MeanES, 100*res.Yield)
+		for _, a := range res.Apps {
+			if a.Spec.Class == workload.LC {
+				fmt.Printf("  %-10s p95=%7.2f ms (target %6.2f ms, ideal %5.2f ms) violations=%d/%d epochs\n",
+					a.Spec.Name, a.MeanP95Ms, a.Spec.QoSTargetMs, a.Spec.IdealP95Ms,
+					a.ViolationEpochs, res.Epochs)
+			} else {
+				fmt.Printf("  %-10s IPC=%.2f (solo %.2f)\n", a.Spec.Name, a.MeanIPC, a.Spec.SoloIPC)
+			}
+		}
+		fmt.Printf("  final allocation: %s\n\n", res.FinalAllocation)
+	}
+}
+
+// lc builds an LC application at a constant fraction of its max load.
+func lc(name string, load float64) sim.AppConfig {
+	app := workload.MustLC(name)
+	return sim.AppConfig{LC: &app, Load: trace.Constant(load)}
+}
+
+func ptrBE(b workload.BEApp) *workload.BEApp { return &b }

@@ -1,0 +1,64 @@
+// Command whatif demonstrates the closed-form predictor: before committing
+// resources, ask analytically how an application's p95 responds to cores,
+// cache ways and bandwidth, and how much load each share can sustain —
+// the screening step a planner runs before simulating (or deploying).
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ahq/internal/predict"
+	"ahq/internal/workload"
+)
+
+func main() {
+	app := workload.MustLC("xapian")
+	fmt.Printf("what-if analysis for %s (target %.2f ms, max load %.0f QPS)\n\n",
+		app.Name, app.QoSTargetMs, app.MaxLoadQPS)
+
+	fmt.Println("predicted p95 (ms) at 50% load:")
+	fmt.Println("cores\\ways      4       8      12      20")
+	for _, cores := range []float64{2, 4, 6, 10} {
+		fmt.Printf("%5.0f      ", cores)
+		for _, ways := range []float64{4, 8, 12, 20} {
+			sh := predict.Share{Cores: cores, Ways: ways, BWSatisfaction: 1}
+			p95, err := predict.P95(app, sh, 0.50)
+			if err != nil {
+				fmt.Printf("%7s ", "sat")
+				continue
+			}
+			marker := " "
+			if p95 > app.QoSTargetMs {
+				marker = "!"
+			}
+			fmt.Printf("%6.2f%s ", p95, marker)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(! = predicted QoS violation; sat = share saturates)")
+
+	fmt.Println("\nmax sustainable load per share:")
+	for _, sh := range []predict.Share{
+		{Cores: 10, Ways: 20, BWSatisfaction: 1},
+		{Cores: 4, Ways: 8, BWSatisfaction: 1},
+		{Cores: 4, Ways: 8, BWSatisfaction: 0.7},
+		{Cores: 2, Ways: 4, BWSatisfaction: 0.7},
+	} {
+		max, err := predict.MaxLoad(app, sh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4.0f cores, %4.0f ways, bw %.0f%%  ->  %3.0f%% of max load (%.0f QPS)\n",
+			sh.Cores, sh.Ways, 100*orOne(sh.BWSatisfaction), 100*max, max*app.MaxLoadQPS)
+	}
+}
+
+func orOne(v float64) float64 {
+	if v <= 0 || v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,3 @@
+module ahq
+
+go 1.22

@@ -1,0 +1,112 @@
+package bayesopt
+
+import (
+	"errors"
+	"math"
+)
+
+// ExpectedImprovement returns EI(x) for a maximisation problem: the expected
+// amount by which a draw from N(mean, sd^2) exceeds best (plus an optional
+// exploration margin xi).
+func ExpectedImprovement(mean, sd, best, xi float64) float64 {
+	if sd <= 0 {
+		if d := mean - best - xi; d > 0 {
+			return d
+		}
+		return 0
+	}
+	z := (mean - best - xi) / sd
+	ei := (mean-best-xi)*normCDF(z) + sd*normPDF(z)
+	if ei < 0 {
+		// Floating-point cancellation deep in the tail can leave a tiny
+		// negative residue; EI is non-negative by definition.
+		return 0
+	}
+	return ei
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// normPDF is the standard normal density.
+func normPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+// Optimizer runs sequential model-based optimisation over a fixed-dimension
+// space in [0,1]^dim: observe points, fit the GP, and rank candidates by
+// expected improvement.
+type Optimizer struct {
+	gp *GP
+	xs [][]float64
+	ys []float64
+	// Xi is the EI exploration margin.
+	Xi float64
+}
+
+// NewOptimizer returns an optimiser with reasonable GP hyperparameters for
+// unit-cube inputs.
+func NewOptimizer(dim int) (*Optimizer, error) {
+	gp, err := NewGP(dim, 0.3, 1.0, 1e-4)
+	if err != nil {
+		return nil, err
+	}
+	return &Optimizer{gp: gp, Xi: 0.01}, nil
+}
+
+// Observe records one evaluated point and refits the model.
+func (o *Optimizer) Observe(x []float64, y float64) error {
+	o.xs = append(o.xs, append([]float64(nil), x...))
+	o.ys = append(o.ys, y)
+	return o.gp.Fit(o.xs, o.ys)
+}
+
+// Len returns the number of observations.
+func (o *Optimizer) Len() int { return len(o.ys) }
+
+// Best returns the best observed point and value.
+func (o *Optimizer) Best() ([]float64, float64, error) {
+	if len(o.ys) == 0 {
+		return nil, 0, errors.New("bayesopt: no observations")
+	}
+	bi := 0
+	for i, y := range o.ys {
+		if y > o.ys[bi] {
+			bi = i
+		}
+	}
+	return o.xs[bi], o.ys[bi], nil
+}
+
+// Suggest ranks the candidates by expected improvement and returns the
+// index of the best one alongside its EI value.
+func (o *Optimizer) Suggest(candidates [][]float64) (int, float64, error) {
+	if len(candidates) == 0 {
+		return -1, 0, errors.New("bayesopt: no candidates")
+	}
+	_, best, err := o.Best()
+	if err != nil {
+		return 0, math.Inf(1), nil // nothing observed: any candidate is fine
+	}
+	bestIdx, bestEI := -1, math.Inf(-1)
+	for i, c := range candidates {
+		mean, sd, err := o.gp.Predict(c)
+		if err != nil {
+			return -1, 0, err
+		}
+		ei := ExpectedImprovement(mean, sd, best, o.Xi)
+		if ei > bestEI {
+			bestIdx, bestEI = i, ei
+		}
+	}
+	return bestIdx, bestEI, nil
+}
+
+// Reset forgets all observations (used when the workload shifts and the
+// model is stale).
+func (o *Optimizer) Reset() {
+	o.xs, o.ys = nil, nil
+	_ = o.gp.Fit(nil, nil)
+}

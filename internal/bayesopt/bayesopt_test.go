@@ -1,0 +1,187 @@
+package bayesopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGPInterpolatesObservations(t *testing.T) {
+	gp, err := NewGP(1, 0.3, 1.0, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := [][]float64{{0}, {0.25}, {0.5}, {0.75}, {1}}
+	ys := []float64{0, 0.5, 1.0, 0.5, 0}
+	if err := gp.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		mean, sd, err := gp.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean-ys[i]) > 0.02 {
+			t.Errorf("Predict(%v) mean = %.3f, want ~%.3f", x, mean, ys[i])
+		}
+		if sd > 0.05 {
+			t.Errorf("Predict(%v) sd = %.3f, want near 0 at observation", x, sd)
+		}
+	}
+	// Uncertainty grows away from the data.
+	_, sdAt, _ := gp.Predict([]float64{0.5})
+	_, sdFar, _ := gp.Predict([]float64{3})
+	if sdFar <= sdAt {
+		t.Errorf("sd far (%.3f) <= sd at data (%.3f)", sdFar, sdAt)
+	}
+}
+
+func TestGPValidation(t *testing.T) {
+	if _, err := NewGP(0, 0.3, 1, 1e-4); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewGP(1, 0, 1, 1e-4); err == nil {
+		t.Error("zero length scale accepted")
+	}
+	gp, _ := NewGP(2, 0.3, 1, 1e-4)
+	if err := gp.Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("wrong-dimension point accepted")
+	}
+	if err := gp.Fit([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := gp.Predict([]float64{1}); err == nil {
+		t.Error("wrong-dimension query accepted")
+	}
+}
+
+func TestGPEmptyPredictsPrior(t *testing.T) {
+	gp, _ := NewGP(1, 0.3, 2.0, 1e-4)
+	mean, sd, err := gp.Predict([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 0 || math.Abs(sd-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("prior = (%g, %g), want (0, sqrt(2))", mean, sd)
+	}
+}
+
+func TestCholeskySolvesSPD(t *testing.T) {
+	// A = L L^T for a known SPD matrix; forward+backward solve must
+	// invert it.
+	n := 3
+	a := []float64{4, 2, 0, 2, 5, 1, 0, 1, 3}
+	l, err := cholesky(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, 3}
+	y := forwardSolve(l, b, n)
+	x := backwardSolve(l, y, n)
+	// Check A x = b.
+	for i := 0; i < n; i++ {
+		got := 0.0
+		for j := 0; j < n; j++ {
+			got += a[i*n+j] * x[j]
+		}
+		if math.Abs(got-b[i]) > 1e-9 {
+			t.Errorf("Ax[%d] = %g, want %g", i, got, b[i])
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := []float64{1, 2, 2, 1} // eigenvalues 3, -1
+	if _, err := cholesky(a, 2); err == nil {
+		t.Error("indefinite matrix accepted")
+	}
+}
+
+func TestExpectedImprovementProperties(t *testing.T) {
+	// EI is non-negative, increasing in mean, increasing in sd when
+	// mean <= best.
+	f := func(meanRaw, sdRaw, bestRaw int16) bool {
+		mean := float64(meanRaw) / 1000
+		sd := math.Abs(float64(sdRaw)) / 1000
+		best := float64(bestRaw) / 1000
+		ei := ExpectedImprovement(mean, sd, best, 0)
+		if ei < 0 {
+			return false
+		}
+		if ExpectedImprovement(mean+0.1, sd, best, 0) < ei-1e-12 {
+			return false
+		}
+		if mean <= best && sd > 0 {
+			return ExpectedImprovement(mean, sd+0.1, best, 0) >= ei-1e-12
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedImprovementZeroSD(t *testing.T) {
+	if got := ExpectedImprovement(2, 0, 1, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("EI(2,0,1) = %g, want 1", got)
+	}
+	if got := ExpectedImprovement(0.5, 0, 1, 0); got != 0 {
+		t.Errorf("EI(0.5,0,1) = %g, want 0", got)
+	}
+}
+
+func TestOptimizerFindsMaximumOf1DFunction(t *testing.T) {
+	// Maximise f(x) = -(x-0.7)^2 over [0,1] by sequential EI.
+	opt, err := NewOptimizer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x float64) float64 { return -(x - 0.7) * (x - 0.7) }
+	rng := rand.New(rand.NewSource(1))
+	// Seed with a few random points.
+	for i := 0; i < 4; i++ {
+		x := rng.Float64()
+		if err := opt.Observe([]float64{x}, f(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for iter := 0; iter < 20; iter++ {
+		cands := make([][]float64, 50)
+		for i := range cands {
+			cands[i] = []float64{rng.Float64()}
+		}
+		idx, _, err := opt.Suggest(cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := cands[idx][0]
+		if err := opt.Observe([]float64{x}, f(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best, val, err := opt.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(best[0]-0.7) > 0.1 {
+		t.Errorf("best x = %.3f (f=%.4f), want ~0.7", best[0], val)
+	}
+}
+
+func TestOptimizerEdgeCases(t *testing.T) {
+	opt, _ := NewOptimizer(1)
+	if _, _, err := opt.Best(); err == nil {
+		t.Error("Best on empty optimizer should error")
+	}
+	if _, _, err := opt.Suggest(nil); err == nil {
+		t.Error("Suggest with no candidates should error")
+	}
+	if err := opt.Observe([]float64{0.5}, 1); err != nil {
+		t.Fatal(err)
+	}
+	opt.Reset()
+	if opt.Len() != 0 {
+		t.Error("Reset did not clear observations")
+	}
+}

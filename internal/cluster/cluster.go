@@ -1,0 +1,101 @@
+// Package cluster scales the Ah-Q model from one node to a small
+// datacenter: several simulated nodes, each managed by its own controller
+// and strategy instance, with the system entropy aggregated over every
+// collocated application in the fleet. The paper defines E_S "in a
+// datacenter"; this package is the multi-node reading of that definition,
+// and shows how E_S ranks *placements* the same way it ranks schedulers.
+package cluster
+
+import (
+	"fmt"
+
+	"ahq/internal/core"
+	"ahq/internal/entropy"
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+	"ahq/internal/sim"
+	"ahq/internal/workload"
+)
+
+// Config describes a homogeneous cluster run.
+type Config struct {
+	// Spec is each node's capacity.
+	Spec machine.Spec
+	// Seed drives all nodes deterministically (node i uses Seed+i).
+	Seed int64
+	// NewStrategy builds one strategy instance per node.
+	NewStrategy func(node int) sched.Strategy
+	// Placement assigns the application set to nodes: Placement[i] holds
+	// node i's applications. Every node needs at least one application.
+	Placement [][]sim.AppConfig
+	// RI is the relative importance for the global entropy; 0 means the
+	// paper's 0.8.
+	RI float64
+}
+
+// NodeResult pairs one node's controller outcome with its index.
+type NodeResult struct {
+	Node   int
+	Result *core.Result
+}
+
+// Result aggregates a cluster run.
+type Result struct {
+	// Nodes holds the per-node controller results.
+	Nodes []NodeResult
+	// GlobalELC/GlobalEBE/GlobalES are computed over the pooled run-level
+	// samples of every application in the cluster — the datacenter-wide
+	// E_S of the paper's definition.
+	GlobalELC, GlobalEBE, GlobalES float64
+	// GlobalYield is the satisfied fraction over all LC applications.
+	GlobalYield float64
+}
+
+// Run drives every node for the same horizon and aggregates.
+func Run(cfg Config, opts core.Options) (*Result, error) {
+	if len(cfg.Placement) == 0 {
+		return nil, fmt.Errorf("cluster: empty placement")
+	}
+	if cfg.NewStrategy == nil {
+		return nil, fmt.Errorf("cluster: no strategy factory")
+	}
+	ri := cfg.RI
+	if ri == 0 {
+		ri = entropy.DefaultRI
+	}
+	res := &Result{}
+	var lcAll []entropy.LCSample
+	var beAll []entropy.BESample
+	for i, apps := range cfg.Placement {
+		if len(apps) == 0 {
+			return nil, fmt.Errorf("cluster: node %d has no applications", i)
+		}
+		engine, err := sim.New(sim.Config{Spec: cfg.Spec, Seed: cfg.Seed + int64(i), Apps: apps})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		nodeRes, err := core.Run(engine, cfg.NewStrategy(i), opts)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		res.Nodes = append(res.Nodes, NodeResult{Node: i, Result: nodeRes})
+		for _, a := range nodeRes.Apps {
+			if a.Spec.Class == workload.LC {
+				if a.LCSample.Validate() == nil {
+					lcAll = append(lcAll, a.LCSample)
+				}
+			} else if a.BESample.Validate() == nil {
+				beAll = append(beAll, a.BESample)
+			}
+		}
+	}
+	elc, ebe, es, err := entropy.System{RI: ri}.Compute(lcAll, beAll)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: global entropy: %w", err)
+	}
+	res.GlobalELC, res.GlobalEBE, res.GlobalES = elc, ebe, es
+	if y, err := entropy.Yield(lcAll); err == nil {
+		res.GlobalYield = y
+	}
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"ahq/internal/core"
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+	"ahq/internal/sched/arq"
+	"ahq/internal/sched/static"
+	"ahq/internal/sim"
+	"ahq/internal/trace"
+	"ahq/internal/workload"
+)
+
+func lcAt(name string, load float64) sim.AppConfig {
+	app := workload.MustLC(name)
+	return sim.AppConfig{LC: &app, Load: trace.Constant(load)}
+}
+
+func beApp(name string) sim.AppConfig {
+	app := workload.MustBE(name)
+	return sim.AppConfig{BE: &app}
+}
+
+func fleetApps() []sim.AppConfig {
+	return []sim.AppConfig{
+		lcAt("xapian", 0.5),
+		lcAt("moses", 0.2),
+		lcAt("img-dnn", 0.2),
+		lcAt("silo", 0.2),
+		beApp("fluidanimate"),
+		beApp("stream"),
+	}
+}
+
+func quickOpts() core.Options {
+	return core.Options{EpochMs: 500, WarmupMs: 2_000, DurationMs: 5_000}
+}
+
+func TestEstimateDemand(t *testing.T) {
+	x := lcAt("xapian", 0.5)
+	// 0.5 * 3400 QPS * 1 ms = 1.7 cores.
+	if d := EstimateDemand(x); math.Abs(d-1.7) > 0.05 {
+		t.Errorf("xapian demand = %g, want ~1.7", d)
+	}
+	if d := EstimateDemand(beApp("stream")); math.Abs(d-3) > 1e-9 {
+		t.Errorf("stream demand = %g, want 3 (10 threads x elasticity)", d)
+	}
+	if d := EstimateDemand(sim.AppConfig{}); d != 0 {
+		t.Errorf("empty demand = %g", d)
+	}
+}
+
+func TestPlacementsCoverAllApps(t *testing.T) {
+	apps := fleetApps()
+	for label, place := range map[string]func() ([][]sim.AppConfig, error){
+		"round-robin": func() ([][]sim.AppConfig, error) { return RoundRobin(apps, 2) },
+		"pack":        func() ([][]sim.AppConfig, error) { return Pack(apps, 2, 8) },
+		"balanced":    func() ([][]sim.AppConfig, error) { return Balanced(apps, 2) },
+	} {
+		got, err := place()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		total := 0
+		for _, node := range got {
+			total += len(node)
+		}
+		if total != len(apps) {
+			t.Errorf("%s placed %d of %d apps", label, total, len(apps))
+		}
+	}
+	if _, err := RoundRobin(apps, 0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestBalancedBalances(t *testing.T) {
+	apps := fleetApps()
+	placement, err := Balanced(apps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loads [2]float64
+	for n, node := range placement {
+		for _, a := range node {
+			loads[n] += EstimateDemand(a)
+		}
+	}
+	// LPT keeps the imbalance below the largest single item.
+	if diff := math.Abs(loads[0] - loads[1]); diff > 10 {
+		t.Errorf("balanced placement imbalance = %g (%v)", diff, loads)
+	}
+}
+
+func TestClusterRunAggregates(t *testing.T) {
+	placement, err := Balanced(fleetApps(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Spec:        machine.DefaultSpec(),
+		Seed:        1,
+		NewStrategy: func(int) sched.Strategy { return arq.Default() },
+		Placement:   placement,
+	}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 2 {
+		t.Fatalf("got %d node results", len(res.Nodes))
+	}
+	for _, v := range []float64{res.GlobalELC, res.GlobalEBE, res.GlobalES} {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Errorf("global entropy out of range: %g", v)
+		}
+	}
+	if res.GlobalYield < 0 || res.GlobalYield > 1 {
+		t.Errorf("global yield = %g", res.GlobalYield)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := Run(Config{}, quickOpts()); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Run(Config{
+		Placement:   [][]sim.AppConfig{{}},
+		NewStrategy: func(int) sched.Strategy { return static.Unmanaged{} },
+		Spec:        machine.DefaultSpec(),
+	}, quickOpts()); err == nil {
+		t.Error("empty node accepted")
+	}
+	if _, err := Run(Config{
+		Placement: [][]sim.AppConfig{{lcAt("xapian", 0.2)}},
+		Spec:      machine.DefaultSpec(),
+	}, quickOpts()); err == nil {
+		t.Error("missing strategy factory accepted")
+	}
+}
+
+// TestPlacementMattersForGlobalES is the extension's point: the same
+// applications and scheduler produce different datacenter entropy under
+// different placements, and E_S ranks them. Packing everything onto one
+// node while the other idles must not beat a balanced spread.
+func TestPlacementMattersForGlobalES(t *testing.T) {
+	apps := fleetApps()
+	packed, err := Pack(apps, 2, 1e9) // everything on node 0... but node 1 empty is invalid
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep node 1 non-empty: move the last app over.
+	if len(packed[1]) == 0 {
+		last := packed[0][len(packed[0])-1]
+		packed[0] = packed[0][:len(packed[0])-1]
+		packed[1] = append(packed[1], last)
+	}
+	balanced, err := Balanced(apps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p [][]sim.AppConfig) float64 {
+		res, err := Run(Config{
+			Spec:        machine.DefaultSpec(),
+			Seed:        5,
+			NewStrategy: func(int) sched.Strategy { return arq.Default() },
+			Placement:   p,
+		}, quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GlobalES
+	}
+	esPacked, esBalanced := run(packed), run(balanced)
+	if esBalanced > esPacked+0.02 {
+		t.Errorf("balanced placement E_S %.3f worse than packed %.3f", esBalanced, esPacked)
+	}
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"ahq/internal/sim"
+)
+
+// BEElasticity discounts best-effort thread counts when estimating
+// placement demand: BE work is compressible (it absorbs leftover capacity
+// rather than demanding it), so a 10-thread STREAM should not outweigh the
+// hard arrival-driven demand of the latency-critical services.
+const BEElasticity = 0.3
+
+// EstimateDemand approximates an application's steady-state core demand:
+// offered work for LC applications (arrival rate times mean service time at
+// its initial load), elasticity-discounted thread count for BE
+// applications. Placement heuristics rank by it.
+func EstimateDemand(app sim.AppConfig) float64 {
+	if app.LC != nil {
+		load := 0.0
+		if app.Load != nil {
+			load = app.Load.At(0)
+		}
+		return load * app.LC.MaxLoadQPS / 1000 * app.LC.ServiceMeanMs
+	}
+	if app.BE != nil {
+		return BEElasticity * float64(app.BE.Threads)
+	}
+	return 0
+}
+
+// RoundRobin deals applications across nodes in order.
+func RoundRobin(apps []sim.AppConfig, nodes int) ([][]sim.AppConfig, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	out := make([][]sim.AppConfig, nodes)
+	for i, a := range apps {
+		out[i%nodes] = append(out[i%nodes], a)
+	}
+	return out, nil
+}
+
+// Pack fills nodes sequentially: the first node receives applications
+// until its estimated demand reaches budget cores, then the next — the
+// consolidation-maximising placement.
+func Pack(apps []sim.AppConfig, nodes int, budget float64) ([][]sim.AppConfig, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	out := make([][]sim.AppConfig, nodes)
+	node := 0
+	used := 0.0
+	for _, a := range apps {
+		d := EstimateDemand(a)
+		if used+d > budget && len(out[node]) > 0 && node < nodes-1 {
+			node++
+			used = 0
+		}
+		out[node] = append(out[node], a)
+		used += d
+	}
+	// A node cannot run with nothing on it; when the budget packs
+	// everything early, peel trailing applications off the fullest nodes.
+	for n := nodes - 1; n >= 1; n-- {
+		if len(out[n]) > 0 {
+			continue
+		}
+		donor := 0
+		for i := 1; i < n; i++ {
+			if len(out[i]) > len(out[donor]) {
+				donor = i
+			}
+		}
+		if len(out[donor]) <= 1 {
+			return nil, fmt.Errorf("cluster: %d applications cannot cover %d nodes", len(apps), nodes)
+		}
+		last := out[donor][len(out[donor])-1]
+		out[donor] = out[donor][:len(out[donor])-1]
+		out[n] = append(out[n], last)
+	}
+	return out, nil
+}
+
+// Balanced greedily assigns the largest applications first, each to the
+// currently least-loaded node — longest-processing-time bin packing.
+func Balanced(apps []sim.AppConfig, nodes int) ([][]sim.AppConfig, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	idx := make([]int, len(apps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return EstimateDemand(apps[idx[a]]) > EstimateDemand(apps[idx[b]])
+	})
+	out := make([][]sim.AppConfig, nodes)
+	load := make([]float64, nodes)
+	for _, i := range idx {
+		best := 0
+		for n := 1; n < nodes; n++ {
+			if load[n] < load[best] {
+				best = n
+			}
+		}
+		out[best] = append(out[best], apps[i])
+		load[best] += EstimateDemand(apps[i])
+	}
+	return out, nil
+}

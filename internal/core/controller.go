@@ -1,0 +1,315 @@
+// Package core implements the Ah-Q controller: the daemon loop that every
+// monitoring epoch (500 ms in the paper) reads tail latency and IPC from the
+// node, computes the system entropy, hands the telemetry to the plugged-in
+// scheduling strategy, and applies the allocation the strategy returns.
+// It also aggregates the run-level results the evaluation reports: average
+// entropies, per-application latency and IPC, yield, and QoS violations.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ahq/internal/entropy"
+	"ahq/internal/machine"
+	"ahq/internal/metrics"
+	"ahq/internal/sched"
+	"ahq/internal/sim"
+	"ahq/internal/workload"
+)
+
+// Options configure one controlled run.
+type Options struct {
+	// EpochMs is the monitoring interval; 0 means the paper's 500 ms.
+	EpochMs float64
+	// WarmupMs is discarded from run-level statistics (the system needs a
+	// few epochs to converge); 0 means 5000 ms.
+	WarmupMs float64
+	// DurationMs is the measured horizon after warm-up; 0 means 20000 ms.
+	DurationMs float64
+	// RI is the relative importance of LC applications; 0 means the
+	// paper's 0.8.
+	RI float64
+	// RecordTimeline retains per-epoch windows and allocations in the
+	// result (needed by the Fig. 13 experiment; off by default to keep
+	// sweeps lean).
+	RecordTimeline bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.EpochMs <= 0 {
+		o.EpochMs = 500
+	}
+	if o.WarmupMs < 0 {
+		o.WarmupMs = 0
+	} else if o.WarmupMs == 0 {
+		o.WarmupMs = 10000
+	}
+	if o.DurationMs <= 0 {
+		o.DurationMs = 20000
+	}
+	if o.RI == 0 {
+		o.RI = entropy.DefaultRI
+	}
+	return o
+}
+
+// EpochRecord is one monitoring interval's observation and decision.
+type EpochRecord struct {
+	TimeMs       float64
+	Apps         []sched.AppWindow
+	ELC, EBE, ES float64
+	Allocation   machine.Allocation
+	Adjusted     bool
+	LCViolations int
+	QueuedTotal  int
+	DroppedTotal int
+}
+
+// AppResult is the run-level summary for one application.
+type AppResult struct {
+	Spec sched.AppSpec
+	// MeanP95Ms averages the epoch p95 values over the measured horizon
+	// (TL_i1 of the paper's tables). LC only.
+	MeanP95Ms float64
+	// ViolationEpochs counts measured epochs whose p95 exceeded the
+	// target. LC only.
+	ViolationEpochs int
+	// Completed and Dropped total over the measured horizon. LC only.
+	Completed, Dropped int
+	// MeanIPC averages the epoch IPC values. BE only.
+	MeanIPC float64
+	// Sample is the run-level entropy input derived from the above.
+	LCSample entropy.LCSample
+	BESample entropy.BESample
+}
+
+// Result is the outcome of one controlled run.
+type Result struct {
+	Strategy string
+	// MeanELC/MeanEBE/MeanES average the per-epoch entropies over the
+	// measured horizon (the values the paper's bar charts report).
+	MeanELC, MeanEBE, MeanES float64
+	// RunELC/RunEBE/RunES are computed from run-level mean latencies and
+	// IPCs (the values the paper's Table II reports).
+	RunELC, RunEBE, RunES float64
+	// Yield is the ratio of LC applications whose run-level Q_i is zero.
+	Yield float64
+	// Apps holds per-application summaries, LC first.
+	Apps []AppResult
+	// Epochs counts measured monitoring intervals; Adjustments counts
+	// epochs in which the strategy changed the allocation.
+	Epochs, Adjustments int
+	// TotalViolationEpochs sums LC violation epochs over applications
+	// (the "tail latency violations" count of Fig. 13).
+	TotalViolationEpochs int
+	// Timeline holds per-epoch records when Options.RecordTimeline.
+	Timeline []EpochRecord
+	// FinalAllocation is the allocation in force when the run ended.
+	FinalAllocation machine.Allocation
+}
+
+// Run drives the engine under the strategy for warm-up plus the measured
+// horizon and aggregates the results.
+func Run(engine *sim.Engine, strategy sched.Strategy, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	specs := engine.AppSpecs()
+	alloc := strategy.Init(engine.Spec(), specs)
+	if err := engine.SetAllocation(alloc); err != nil {
+		return nil, fmt.Errorf("core: %s initial allocation rejected: %w", strategy.Name(), err)
+	}
+	sys := entropy.System{RI: opts.RI}
+
+	totalEpochs := int(math.Ceil((opts.WarmupMs + opts.DurationMs) / opts.EpochMs))
+	warmEpochs := int(math.Ceil(opts.WarmupMs / opts.EpochMs))
+
+	res := &Result{Strategy: strategy.Name()}
+	type accum struct {
+		p95   []float64
+		ipc   []float64
+		compl int
+		drops int
+		viol  int
+	}
+	acc := make(map[string]*accum, len(specs))
+	for _, s := range specs {
+		acc[s.Name] = &accum{}
+	}
+	var esSum, elcSum, ebeSum float64
+	measured := 0
+
+	for epoch := 0; epoch < totalEpochs; epoch++ {
+		if epoch == warmEpochs {
+			engine.ResetRunStats()
+		}
+		windows := engine.RunWindow(opts.EpochMs)
+		tel := sched.Telemetry{
+			TimeMs: engine.NowMs(),
+			Epoch:  epoch,
+			Apps:   orderWindows(windows, specs),
+		}
+		lcS, beS := SamplesFromWindows(tel.Apps)
+		elc, ebe, es, err := sys.Compute(lcS, beS)
+		if err == nil {
+			tel.ELC, tel.EBE, tel.ES = elc, ebe, es
+		} else {
+			tel.ELC, tel.EBE, tel.ES = math.NaN(), math.NaN(), math.NaN()
+		}
+
+		inMeasure := epoch >= warmEpochs
+		if inMeasure && err == nil {
+			elcSum += elc
+			ebeSum += ebe
+			esSum += es
+			measured++
+		}
+
+		violations := 0
+		queued, dropped := 0, 0
+		for _, w := range tel.Apps {
+			a := acc[w.Spec.Name]
+			if w.Spec.Class == workload.LC {
+				queued += w.QueueLen
+				dropped += w.Dropped
+				if inMeasure {
+					if !math.IsNaN(w.P95Ms) {
+						a.p95 = append(a.p95, w.P95Ms)
+					}
+					a.compl += w.Completed
+					a.drops += w.Dropped
+					if w.Violates() {
+						a.viol++
+						violations++
+					}
+				} else if w.Violates() {
+					violations++
+				}
+			} else if inMeasure {
+				a.ipc = append(a.ipc, w.IPC)
+			}
+		}
+		if inMeasure {
+			res.Epochs++
+			res.TotalViolationEpochs += violations
+		}
+
+		cur := engine.Allocation()
+		next := strategy.Decide(tel, cur)
+		adjusted := !next.Equal(cur)
+		if adjusted {
+			if err := engine.SetAllocation(next); err != nil {
+				return nil, fmt.Errorf("core: %s allocation rejected at epoch %d: %w",
+					strategy.Name(), epoch, err)
+			}
+			if inMeasure {
+				res.Adjustments++
+			}
+		}
+		if opts.RecordTimeline {
+			res.Timeline = append(res.Timeline, EpochRecord{
+				TimeMs:       tel.TimeMs,
+				Apps:         tel.Apps,
+				ELC:          tel.ELC,
+				EBE:          tel.EBE,
+				ES:           tel.ES,
+				Allocation:   engine.Allocation(),
+				Adjusted:     adjusted,
+				LCViolations: violations,
+				QueuedTotal:  queued,
+				DroppedTotal: dropped,
+			})
+		}
+	}
+
+	if measured > 0 {
+		res.MeanELC = elcSum / float64(measured)
+		res.MeanEBE = ebeSum / float64(measured)
+		res.MeanES = esSum / float64(measured)
+	}
+
+	// Run-level summaries and entropies from mean latencies/IPCs.
+	var lcRun []entropy.LCSample
+	var beRun []entropy.BESample
+	for _, s := range specs {
+		a := acc[s.Name]
+		ar := AppResult{Spec: s}
+		if s.Class == workload.LC {
+			// Run-level tail latency is the exact percentile over every
+			// completion in the measured horizon; the windowed mean is a
+			// fallback for starved runs.
+			ar.MeanP95Ms = engine.RunP95(s.Name)
+			if math.IsNaN(ar.MeanP95Ms) {
+				ar.MeanP95Ms = metrics.Mean(a.p95)
+			}
+			ar.ViolationEpochs = a.viol
+			ar.Completed, ar.Dropped = a.compl, a.drops
+			ar.LCSample = entropy.LCSample{
+				Name: s.Name, IdealMs: s.IdealP95Ms,
+				MeasuredMs: ar.MeanP95Ms, TargetMs: s.QoSTargetMs,
+			}
+			if !math.IsNaN(ar.MeanP95Ms) {
+				lcRun = append(lcRun, ar.LCSample)
+			}
+		} else {
+			ar.MeanIPC = engine.RunIPC(s.Name)
+			if math.IsNaN(ar.MeanIPC) {
+				ar.MeanIPC = metrics.Mean(a.ipc)
+			}
+			ar.BESample = entropy.BESample{Name: s.Name, SoloIPC: s.SoloIPC, MeasuredIPC: ar.MeanIPC}
+			if !math.IsNaN(ar.MeanIPC) && ar.MeanIPC > 0 {
+				beRun = append(beRun, ar.BESample)
+			}
+		}
+		res.Apps = append(res.Apps, ar)
+	}
+	if elc, ebe, es, err := sys.Compute(lcRun, beRun); err == nil {
+		res.RunELC, res.RunEBE, res.RunES = elc, ebe, es
+	}
+	if y, err := entropy.Yield(lcRun); err == nil {
+		res.Yield = y
+	}
+	res.FinalAllocation = engine.Allocation()
+	return res, nil
+}
+
+// SamplesFromWindows converts epoch telemetry into entropy inputs, skipping
+// idle applications (no measurement) and treating a starved application's
+// lower-bound latency as its measured latency.
+func SamplesFromWindows(apps []sched.AppWindow) ([]entropy.LCSample, []entropy.BESample) {
+	var lc []entropy.LCSample
+	var be []entropy.BESample
+	for _, w := range apps {
+		if w.Spec.Class == workload.LC {
+			if math.IsNaN(w.P95Ms) || w.P95Ms <= 0 {
+				continue
+			}
+			lc = append(lc, entropy.LCSample{
+				Name: w.Spec.Name, IdealMs: w.Spec.IdealP95Ms,
+				MeasuredMs: w.P95Ms, TargetMs: w.Spec.QoSTargetMs,
+			})
+		} else {
+			if w.IPC <= 0 {
+				// A fully starved BE application has zero measured IPC;
+				// clamp to a sliver so E_BE saturates instead of erroring.
+				w.IPC = w.Spec.SoloIPC * 1e-3
+			}
+			be = append(be, entropy.BESample{
+				Name: w.Spec.Name, SoloIPC: w.Spec.SoloIPC, MeasuredIPC: w.IPC,
+			})
+		}
+	}
+	return lc, be
+}
+
+// orderWindows reorders engine windows into spec order (LC first).
+func orderWindows(windows []sched.AppWindow, specs []sched.AppSpec) []sched.AppWindow {
+	byName := make(map[string]sched.AppWindow, len(windows))
+	for _, w := range windows {
+		byName[w.Spec.Name] = w
+	}
+	out := make([]sched.AppWindow, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, byName[s.Name])
+	}
+	return out
+}

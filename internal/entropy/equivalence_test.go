@@ -1,0 +1,141 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustCurve(t *testing.T, pts []Point) *Curve {
+	t.Helper()
+	c, err := NewCurve(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCurveInterpolation(t *testing.T) {
+	c := mustCurve(t, []Point{{4, 0.8}, {6, 0.4}, {8, 0.2}, {10, 0.1}})
+	cases := []struct {
+		r, want float64
+	}{
+		{4, 0.8}, {5, 0.6}, {6, 0.4}, {7, 0.3}, {10, 0.1},
+		{3, 0.8},  // clamp low
+		{12, 0.1}, // clamp high
+	}
+	for _, cse := range cases {
+		if got := c.ESAt(cse.r); math.Abs(got-cse.want) > 1e-9 {
+			t.Errorf("ESAt(%g) = %g, want %g", cse.r, got, cse.want)
+		}
+	}
+}
+
+func TestResourceFor(t *testing.T) {
+	c := mustCurve(t, []Point{{4, 0.8}, {6, 0.4}, {8, 0.2}})
+	r, err := c.ResourceFor(0.4)
+	if err != nil || math.Abs(r-6) > 1e-9 {
+		t.Errorf("ResourceFor(0.4) = %g (%v), want 6", r, err)
+	}
+	r, err = c.ResourceFor(0.6)
+	if err != nil || math.Abs(r-5) > 1e-9 {
+		t.Errorf("ResourceFor(0.6) = %g (%v), want 5", r, err)
+	}
+	// Already satisfied at the scarce end.
+	r, err = c.ResourceFor(0.9)
+	if err != nil || r != 4 {
+		t.Errorf("ResourceFor(0.9) = %g (%v), want 4", r, err)
+	}
+	// Unreachable.
+	if _, err := c.ResourceFor(0.05); err == nil {
+		t.Error("unreachable entropy accepted")
+	}
+}
+
+func TestEquivalenceMatchesPaperShape(t *testing.T) {
+	// Synthetic version of Fig. 3(a): the better strategy's curve sits
+	// left of the baseline's, so the equivalence is positive.
+	unmanaged := mustCurve(t, []Point{{4, 0.9}, {6, 0.6}, {8, 0.25}, {10, 0.05}})
+	arq := mustCurve(t, []Point{{4, 0.5}, {6, 0.2}, {8, 0.1}, {10, 0.04}})
+	eq, err := Equivalence(unmanaged, arq, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq <= 0 {
+		t.Errorf("equivalence = %g, want positive (ARQ saves resources)", eq)
+	}
+	// Swapping roles negates it.
+	rev, err := Equivalence(arq, unmanaged, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eq+rev) > 1e-9 {
+		t.Errorf("equivalence not antisymmetric: %g vs %g", eq, rev)
+	}
+}
+
+func TestCurveValidation(t *testing.T) {
+	if _, err := NewCurve([]Point{{1, 0.5}}); err == nil {
+		t.Error("single-point curve accepted")
+	}
+	if _, err := NewCurve([]Point{{1, 0.5}, {1, 0.4}}); err == nil {
+		t.Error("duplicate resource amounts accepted")
+	}
+}
+
+func TestMonotoneViolation(t *testing.T) {
+	flat := mustCurve(t, []Point{{4, 0.8}, {6, 0.4}, {8, 0.2}})
+	if v := flat.MonotoneViolation(); v != 0 {
+		t.Errorf("monotone curve violation = %g", v)
+	}
+	bumpy := mustCurve(t, []Point{{4, 0.8}, {6, 0.4}, {8, 0.45}})
+	if v := bumpy.MonotoneViolation(); math.Abs(v-0.05) > 1e-9 {
+		t.Errorf("violation = %g, want 0.05", v)
+	}
+}
+
+func TestCurveProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		// Build a strictly decreasing curve over distinct resources.
+		pts := make([]Point, len(raw))
+		for i := range raw {
+			pts[i] = Point{
+				Resource: float64(i + 1),
+				ES:       1 / (1 + float64(i) + float64(raw[i]%100)/1000),
+			}
+		}
+		c, err := NewCurve(pts)
+		if err != nil {
+			return false
+		}
+		// ResourceFor inverts ESAt on the curve's range.
+		target := (pts[0].ES + pts[len(pts)-1].ES) / 2
+		r, err := c.ResourceFor(target)
+		if err != nil {
+			return false
+		}
+		return math.Abs(c.ESAt(r)-target) < 1e-6 && c.Min() == pts[len(pts)-1].ES
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoints(t *testing.T) {
+	in := []Point{{8, 0.2}, {4, 0.8}}
+	c := mustCurve(t, in)
+	pts := c.Points()
+	if len(pts) != 2 || pts[0].Resource != 4 || pts[1].Resource != 8 {
+		t.Errorf("Points() = %v", pts)
+	}
+	pts[0].ES = 99
+	if c.ESAt(4) == 99 {
+		t.Error("Points() exposes internal storage")
+	}
+}

@@ -1,0 +1,62 @@
+package entropy_test
+
+import (
+	"fmt"
+
+	"ahq/internal/entropy"
+)
+
+// ExampleELC reproduces the Unmanaged/6-core row of the paper's Table II.
+func ExampleELC() {
+	samples := []entropy.LCSample{
+		{Name: "xapian", IdealMs: 2.77, MeasuredMs: 23.99, TargetMs: 4.22},
+		{Name: "moses", IdealMs: 2.80, MeasuredMs: 16.54, TargetMs: 10.53},
+		{Name: "img-dnn", IdealMs: 1.41, MeasuredMs: 14.35, TargetMs: 3.98},
+	}
+	elc, err := entropy.ELC(samples)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E_LC = %.2f\n", elc)
+	// Output:
+	// E_LC = 0.64
+}
+
+// ExampleSystem shows the Eq. 7 combination with the paper's RI = 0.8.
+func ExampleSystem() {
+	lc := []entropy.LCSample{{Name: "xapian", IdealMs: 2.77, MeasuredMs: 6.0, TargetMs: 4.22}}
+	be := []entropy.BESample{{Name: "stream", SoloIPC: 0.60, MeasuredIPC: 0.30}}
+	elc, ebe, es, err := entropy.System{RI: 0.8}.Compute(lc, be)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E_LC=%.3f E_BE=%.3f E_S=%.3f\n", elc, ebe, es)
+	// Output:
+	// E_LC=0.297 E_BE=0.500 E_S=0.337
+}
+
+// ExampleCurve demonstrates resource equivalence: how many cores the
+// Unmanaged strategy needs beyond ARQ to reach the same entropy.
+func ExampleCurve() {
+	unmanaged, _ := entropy.NewCurve([]entropy.Point{
+		{Resource: 4, ES: 0.86}, {Resource: 7, ES: 0.40}, {Resource: 10, ES: 0.05},
+	})
+	arq, _ := entropy.NewCurve([]entropy.Point{
+		{Resource: 4, ES: 0.56}, {Resource: 7, ES: 0.15}, {Resource: 10, ES: 0.05},
+	})
+	saved, err := entropy.Equivalence(unmanaged, arq, 0.30)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ARQ saves %.1f cores at E_S = 0.30\n", saved)
+	// Output:
+	// ARQ saves 2.0 cores at E_S = 0.30
+}
+
+// ExampleLCSample_RemainingTolerance shows the ARQ signal quantities.
+func ExampleLCSample_RemainingTolerance() {
+	s := entropy.LCSample{Name: "moses", IdealMs: 2.80, MeasuredMs: 6.78, TargetMs: 10.53}
+	fmt.Printf("ReT = %.2f, Q = %.2f\n", s.RemainingTolerance(), s.Intolerable())
+	// Output:
+	// ReT = 0.36, Q = 0.00
+}

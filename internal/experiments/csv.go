@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteCSV renders one table as CSV (header row then data rows), for
+// plotting the heatmap and timeline figures.
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSVs writes every table of a result into dir as
+// <id>_<n>_<slug>.csv and returns the file names written.
+func (r *Result) SaveCSVs(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var files []string
+	for i, tab := range r.Tables {
+		name := fmt.Sprintf("%s_%02d_%s.csv", r.ID, i, slug(tab.Caption))
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return files, err
+		}
+		err = tab.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return files, fmt.Errorf("writing %s: %w", path, err)
+		}
+		files = append(files, name)
+	}
+	return files, nil
+}
+
+// slug derives a short file-name fragment from a caption.
+func slug(caption string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(caption) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_':
+			b.WriteByte('-')
+		}
+		if b.Len() >= 40 {
+			break
+		}
+	}
+	s := strings.Trim(b.String(), "-")
+	if s == "" {
+		return "table"
+	}
+	return s
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tab := Table{
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "x,y"}, {"2", "z"}},
+	}
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n2,z\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestSaveCSVs(t *testing.T) {
+	dir := t.TempDir()
+	res := &Result{
+		ID: "demo",
+		Tables: []Table{
+			{Caption: "First Table!", Columns: []string{"x"}, Rows: [][]string{{"1"}}},
+			{Caption: "", Columns: []string{"y"}, Rows: [][]string{{"2"}}},
+		},
+	}
+	files, err := res.SaveCSVs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("wrote %d files", len(files))
+	}
+	if !strings.HasPrefix(files[0], "demo_00_first-table") {
+		t.Errorf("file name %q", files[0])
+	}
+	if !strings.Contains(files[1], "table") {
+		t.Errorf("empty caption should fall back to 'table': %q", files[1])
+	}
+	data, err := os.ReadFile(filepath.Join(dir, files[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "x\n1\n" {
+		t.Errorf("content = %q", data)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Hello, World":  "hello-world",
+		"":              "table",
+		"---":           "table",
+		"E_S under arq": "e-s-under-arq",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+	long := strings.Repeat("abc ", 40)
+	if got := slug(long); len(got) > 41 {
+		t.Errorf("slug too long: %d chars", len(got))
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import "fmt"
+
+func init() {
+	register(Descriptor{
+		ID:    "fig4",
+		Title: "Fig. 4: space-time model — isolation vs. priority sharing of one resource slice",
+		Run:   runFig4,
+	})
+}
+
+// Fig. 4 of the paper is a deterministic illustration: three applications
+// (LC1, LC2, BE) demand one resource slice over eight time slices, and
+// three schemes are compared — (a) each running alone (demand pattern),
+// (b) the slice isolated to LC1, and (c) the slice shared with LC
+// priority, where every ownership change serves the new owner *with
+// overhead* (the paper's triangle). The paper's counts: isolation denies
+// 10 demands; sharing denies only 6, adds 4 overhead-served slices, and
+// nearly doubles utilisation.
+
+// fig4Demand encodes the demand pattern (1-based time slices).
+var fig4Demand = map[string][]int{
+	"LC1": {1, 2, 5, 6},
+	"LC2": {2, 3, 4, 6, 7},
+	"BE":  {1, 3, 5, 6, 8},
+}
+
+const fig4Slices = 8
+
+// fig4Outcome tallies one scheme.
+type fig4Outcome struct {
+	served    int // full-speed served demands (ticks)
+	overhead  int // served after an ownership change (triangles)
+	denied    int // demands that could not use the slice (crosses)
+	busySlice int // time slices in which the slice did useful work
+}
+
+func (o fig4Outcome) utilisation() float64 { return float64(o.busySlice) / fig4Slices }
+
+// fig4Isolated: the slice belongs to owner exclusively.
+func fig4Isolated(owner string) fig4Outcome {
+	var out fig4Outcome
+	demands := demandBySlice()
+	for s := 1; s <= fig4Slices; s++ {
+		for _, app := range []string{"LC1", "LC2", "BE"} {
+			if !demands[s][app] {
+				continue
+			}
+			if app == owner {
+				out.served++
+				out.busySlice++
+			} else {
+				out.denied++
+			}
+		}
+	}
+	return out
+}
+
+// fig4Shared: one app owns the slice per time slice — the highest-priority
+// demander (LC1 > LC2 > BE). A new owner is served with overhead
+// (triangle); a continuing owner at full speed (tick); other demanders are
+// denied (cross).
+func fig4Shared() fig4Outcome {
+	var out fig4Outcome
+	demands := demandBySlice()
+	owner := "LC1"
+	for s := 1; s <= fig4Slices; s++ {
+		var winner string
+		for _, app := range []string{"LC1", "LC2", "BE"} {
+			if demands[s][app] {
+				winner = app
+				break
+			}
+		}
+		for _, app := range []string{"LC1", "LC2", "BE"} {
+			if demands[s][app] && app != winner {
+				out.denied++
+			}
+		}
+		if winner == "" {
+			continue
+		}
+		out.busySlice++
+		if winner == owner {
+			out.served++
+		} else {
+			out.overhead++
+			owner = winner
+		}
+	}
+	return out
+}
+
+func demandBySlice() map[int]map[string]bool {
+	m := make(map[int]map[string]bool, fig4Slices)
+	for s := 1; s <= fig4Slices; s++ {
+		m[s] = map[string]bool{}
+	}
+	for app, slices := range fig4Demand {
+		for _, s := range slices {
+			m[s][app] = true
+		}
+	}
+	return m
+}
+
+func runFig4(RunConfig) (*Result, error) {
+	res := &Result{ID: "fig4", Title: "Space-time resource model"}
+	tab := Table{
+		Caption: "one resource slice, eight time slices; LC1/LC2/BE demand as in Fig. 4(a)",
+		Columns: []string{"scheme", "served (ticks)", "overhead (triangles)", "denied (crosses)", "utilisation"},
+	}
+	iso := fig4Isolated("LC1")
+	tab.AddRow("(b) isolated to LC1", iso.served, iso.overhead, iso.denied, fmtPct(iso.utilisation()))
+	sh := fig4Shared()
+	tab.AddRow("(c) shared, LC priority", sh.served, sh.overhead, sh.denied, fmtPct(sh.utilisation()))
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("paper: crosses 10 -> 6, four triangles appear, utilisation nearly doubles (here %s -> %s)",
+			fmtPct(iso.utilisation()), fmtPct(sh.utilisation())))
+	res.Tables = append(res.Tables, tab)
+	return res, nil
+}

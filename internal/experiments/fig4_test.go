@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+// TestFig4MatchesPaperCounts pins the space-time model to the paper's
+// exact numbers: isolation denies 10 demands; LC-priority sharing denies 6,
+// serves 4 with switch overhead, and doubles utilisation.
+func TestFig4MatchesPaperCounts(t *testing.T) {
+	iso := fig4Isolated("LC1")
+	if iso.denied != 10 {
+		t.Errorf("isolated crosses = %d, want 10", iso.denied)
+	}
+	if iso.overhead != 0 {
+		t.Errorf("isolated triangles = %d, want 0", iso.overhead)
+	}
+	if iso.utilisation() != 0.5 {
+		t.Errorf("isolated utilisation = %.2f, want 0.50", iso.utilisation())
+	}
+
+	sh := fig4Shared()
+	if sh.denied != 6 {
+		t.Errorf("shared crosses = %d, want 6", sh.denied)
+	}
+	if sh.overhead != 4 {
+		t.Errorf("shared triangles = %d, want 4", sh.overhead)
+	}
+	if sh.utilisation() != 1.0 {
+		t.Errorf("shared utilisation = %.2f, want 1.00 (doubled)", sh.utilisation())
+	}
+}
+
+func TestFig4Runner(t *testing.T) {
+	res, err := runFig4(RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 2 {
+		t.Fatalf("unexpected shape: %+v", res)
+	}
+}

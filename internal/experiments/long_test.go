@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The heavier experiments get dedicated quick-mode smoke tests, kept out of
+// the parallel sweep in experiments_test.go because each runs many
+// controller instances.
+
+func TestFig10Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not -short")
+	}
+	d, ok := Lookup("fig10")
+	if !ok {
+		t.Fatal("fig10 missing")
+	}
+	res, err := d.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three metrics for each of two strategies.
+	if len(res.Tables) != 6 {
+		t.Fatalf("fig10 produced %d tables, want 6", len(res.Tables))
+	}
+	for _, tab := range res.Tables {
+		if tab.Freeform == "" || !strings.Contains(tab.Freeform, "legend:") {
+			t.Errorf("table %q missing heatmap", tab.Caption)
+		}
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not -short")
+	}
+	d, ok := Lookup("fig11")
+	if !ok {
+		t.Fatal("fig11 missing")
+	}
+	res, err := d.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 {
+		t.Fatal("no tables")
+	}
+}
+
+func TestFig12Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not -short")
+	}
+	d, ok := Lookup("fig12")
+	if !ok {
+		t.Fatal("fig12 missing")
+	}
+	res, err := d.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	if len(tab.Rows) != 2 {
+		t.Fatalf("fig12 has %d strategy rows, want 2", len(tab.Rows))
+	}
+	// Eight applications are collocated: six LC latencies + two IPCs +
+	// strategy + E_S + yield = 11 columns.
+	if len(tab.Columns) != 11 {
+		t.Errorf("fig12 has %d columns", len(tab.Columns))
+	}
+}
+
+// TestARQBeatsPartiesInFig12Quick pins the scale-up claim end-to-end even
+// in quick mode: ARQ's E_S must be below PARTIES' with 8 collocated apps.
+func TestARQBeatsPartiesInFig12Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not -short")
+	}
+	d, _ := Lookup("fig12")
+	res, err := d.Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	var parties, arq float64
+	for _, row := range tab.Rows {
+		esCol := len(row) - 2
+		switch row[0] {
+		case "parties":
+			parties = atofOrFail(t, row[esCol])
+		case "arq":
+			arq = atofOrFail(t, row[esCol])
+		}
+	}
+	if arq >= parties {
+		t.Errorf("ARQ E_S %.3f >= PARTIES %.3f in the 8-app collocation", arq, parties)
+	}
+}
+
+func atofOrFail(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float %q", s)
+	}
+	return v
+}

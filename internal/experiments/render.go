@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// shades maps a [0,1] value onto a density glyph, darkest = worst
+// interference, matching the paper's heatmap orientation.
+var shades = []rune{' ', '░', '▒', '▓', '█'}
+
+// Shade returns the glyph for an entropy value in [0,1]; NaN renders '?'.
+func Shade(v float64) rune {
+	if math.IsNaN(v) {
+		return '?'
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	idx := int(v * float64(len(shades)))
+	if idx >= len(shades) {
+		idx = len(shades) - 1
+	}
+	return shades[idx]
+}
+
+// Heatmap renders a labelled grid of [0,1] values as an ASCII-art block,
+// one glyph per cell (doubled horizontally for aspect ratio), with a
+// legend. Rows and values must agree in shape.
+func Heatmap(title string, rowLabels, colLabels []string, values [][]float64) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	fmt.Fprintf(&b, "%*s ", labelW, "")
+	for _, c := range colLabels {
+		fmt.Fprintf(&b, "%-2s", firstRune(c))
+	}
+	b.WriteByte('\n')
+	for i, row := range values {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&b, "%*s ", labelW, label)
+		for _, v := range row {
+			g := Shade(v)
+			b.WriteRune(g)
+			b.WriteRune(g)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s legend:", labelW, "")
+	for i, g := range shades {
+		lo := float64(i) / float64(len(shades))
+		fmt.Fprintf(&b, " %c=%.1f+", g, lo)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// firstRune returns the first rune of a label (column headers are
+// compressed to one glyph per cell).
+func firstRune(s string) string {
+	for _, r := range s {
+		return string(r)
+	}
+	return " "
+}
+
+// Sparkline renders a series of [0,1] values as a one-line bar chart, used
+// by the Fig. 13 timeline.
+var sparks = []rune{'▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'}
+
+// Spark maps a [0,1] value to a bar glyph; NaN renders ' '.
+func Spark(v float64) rune {
+	if math.IsNaN(v) {
+		return ' '
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	idx := int(v * float64(len(sparks)))
+	if idx >= len(sparks) {
+		idx = len(sparks) - 1
+	}
+	return sparks[idx]
+}
+
+// Sparkline renders the whole series.
+func Sparkline(values []float64) string {
+	var b strings.Builder
+	for _, v := range values {
+		b.WriteRune(Spark(v))
+	}
+	return b.String()
+}

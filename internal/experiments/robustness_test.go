@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+
+	"ahq/internal/core"
+	"ahq/internal/machine"
+)
+
+// TestARQAdvantageIsSeedRobust guards the reproduction's central comparison
+// against seed luck: across several seeds, ARQ's mean E_S on the contended
+// Stream mix must not lose to PARTIES by more than noise, and must win on
+// average.
+func TestARQAdvantageIsSeedRobust(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not -short")
+	}
+	arqF, err := StrategyByName("arq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parF, err := StrategyByName("parties")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arqSum, parSum float64
+	wins := 0
+	seeds := []int64{11, 42, 97}
+	for _, seed := range seeds {
+		cfg := RunConfig{Seed: seed, Quick: true}
+		apps := standardMix(0.50, 0.20, 0.20, "stream")
+		arqRun, err := runMix(cfg, machine.DefaultSpec(), apps, arqF, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parRun, err := runMix(cfg, machine.DefaultSpec(), apps, parF, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arqSum += arqRun.MeanES
+		parSum += parRun.MeanES
+		if arqRun.MeanES < parRun.MeanES+0.02 {
+			wins++
+		}
+	}
+	if wins < len(seeds)-1 {
+		t.Errorf("ARQ beat PARTIES (within noise) on only %d of %d seeds", wins, len(seeds))
+	}
+	if arqSum >= parSum {
+		t.Errorf("mean E_S over seeds: ARQ %.3f >= PARTIES %.3f", arqSum/3, parSum/3)
+	}
+}
+
+// TestEntropyResourceMonotoneAcrossSeeds guards property ② at experiment
+// granularity: for each seed, Unmanaged E_S at 5 cores must exceed E_S at
+// 9 cores by a clear margin.
+func TestEntropyResourceMonotoneAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not -short")
+	}
+	unmanaged, err := StrategyByName("unmanaged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{5, 19} {
+		cfg := RunConfig{Seed: seed, Quick: true}
+		scarce, err := esAt(cfg, unmanaged, 5, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ample, err := esAt(cfg, unmanaged, 9, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scarce < ample+0.1 {
+			t.Errorf("seed %d: E_S(5 cores)=%.3f not clearly above E_S(9 cores)=%.3f",
+				seed, scarce, ample)
+		}
+	}
+}

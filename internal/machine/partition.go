@@ -1,0 +1,114 @@
+package machine
+
+import "sort"
+
+// EvenPartition builds the strict-isolation starting allocation used by
+// PARTIES and CLITE: every application (LC and BE alike) gets its own
+// isolated region, and the node's resources are split as evenly as integer
+// units allow, with earlier applications receiving the remainder units.
+// The returned region order is: LC apps in the given order, then BE apps.
+//
+// A node can only be strictly partitioned while it has at least one unit
+// of every resource per application. When it does not (tiny nodes), the
+// earlier applications keep isolated partitions and the surplus
+// applications share one fair region with the leftover resources — the
+// same compromise pinning two tasks to one core makes on real hardware.
+func EvenPartition(spec Spec, lcApps, beApps []string) Allocation {
+	apps := append(append([]string(nil), lcApps...), beApps...)
+	n := len(apps)
+	if n == 0 {
+		return Allocation{}
+	}
+	maxParts := n
+	for r := Cores; r < Resource(NumResources); r++ {
+		if c := spec.Capacity(r); c < maxParts {
+			maxParts = c
+		}
+	}
+	if maxParts >= n {
+		alloc := Allocation{Regions: make([]Region, 0, n)}
+		cores := splitEven(spec.Cores, n)
+		ways := splitEven(spec.LLCWays, n)
+		bw := splitEven(spec.MemBWUnits, n)
+		for i, app := range apps {
+			alloc.Regions = append(alloc.Regions, Region{
+				Name:    "iso:" + app,
+				Kind:    Isolated,
+				Cores:   cores[i],
+				Ways:    ways[i],
+				BWUnits: bw[i],
+				Apps:    []string{app},
+			})
+		}
+		return alloc
+	}
+	// Tiny node: isolate the first maxParts-1 applications, pool the rest.
+	iso := maxParts - 1
+	alloc := Allocation{Regions: make([]Region, 0, iso+1)}
+	for i := 0; i < iso; i++ {
+		alloc.Regions = append(alloc.Regions, Region{
+			Name:    "iso:" + apps[i],
+			Kind:    Isolated,
+			Cores:   1,
+			Ways:    1,
+			BWUnits: 1,
+			Apps:    []string{apps[i]},
+		})
+	}
+	members := append([]string(nil), apps[iso:]...)
+	sort.Strings(members)
+	alloc.Regions = append(alloc.Regions, Region{
+		Name:    "shared",
+		Kind:    Shared,
+		Policy:  FairShare,
+		Cores:   spec.Cores - iso,
+		Ways:    spec.LLCWays - iso,
+		BWUnits: spec.MemBWUnits - iso,
+		Apps:    members,
+	})
+	return alloc
+}
+
+// ARQInitial builds ARQ's starting allocation: no isolated resources at all;
+// the whole node is one LC-priority shared region that every application may
+// use. Isolated regions exist for each LC application but start empty, so
+// the strategy can grow them without restructuring the allocation.
+func ARQInitial(spec Spec, lcApps, beApps []string) Allocation {
+	alloc := Allocation{}
+	for _, app := range lcApps {
+		alloc.Regions = append(alloc.Regions, Region{
+			Name: "iso:" + app,
+			Kind: Isolated,
+			Apps: []string{app},
+		})
+	}
+	members := append(append([]string(nil), lcApps...), beApps...)
+	sort.Strings(members)
+	alloc.Regions = append(alloc.Regions, Region{
+		Name:    "shared",
+		Kind:    Shared,
+		Policy:  LCPriority,
+		Cores:   spec.Cores,
+		Ways:    spec.LLCWays,
+		BWUnits: spec.MemBWUnits,
+		Apps:    members,
+	})
+	return alloc
+}
+
+// splitEven divides total into n non-negative integer parts whose sum is
+// total, differing by at most one, larger parts first.
+func splitEven(total, n int) []int {
+	parts := make([]int, n)
+	if n == 0 {
+		return parts
+	}
+	base, rem := total/n, total%n
+	for i := range parts {
+		parts[i] = base
+		if i < rem {
+			parts[i]++
+		}
+	}
+	return parts
+}

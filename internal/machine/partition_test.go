@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEvenPartitionExactAndValid(t *testing.T) {
+	spec := DefaultSpec()
+	lc := []string{"xapian", "moses", "img-dnn"}
+	be := []string{"stream"}
+	a := EvenPartition(spec, lc, be)
+	if err := a.Validate(spec, append(lc, be...)); err != nil {
+		t.Fatalf("even partition invalid: %v", err)
+	}
+	if len(a.Regions) != 4 {
+		t.Fatalf("got %d regions, want 4", len(a.Regions))
+	}
+	if a.Used(Cores) != spec.Cores || a.Used(LLCWays) != spec.LLCWays || a.Used(MemBW) != spec.MemBWUnits {
+		t.Errorf("even partition does not use the whole node: %s", a)
+	}
+	for _, g := range a.Regions {
+		if g.Kind != Isolated || len(g.Apps) != 1 {
+			t.Errorf("region %q not an isolated singleton", g.Name)
+		}
+	}
+}
+
+func TestSplitEvenProperties(t *testing.T) {
+	f := func(total uint8, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		parts := splitEven(int(total), int(n))
+		sum, min, max := 0, int(total)+1, -1
+		for _, p := range parts {
+			sum += p
+			if p < min {
+				min = p
+			}
+			if p > max {
+				max = p
+			}
+		}
+		return sum == int(total) && (len(parts) == 0 || max-min <= 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvenPartitionTinyNodeOverflows(t *testing.T) {
+	// Two cores cannot host three strict partitions; the surplus
+	// applications share a fair region instead of being stranded.
+	spec := Spec{Cores: 2, LLCWays: 2, MemBWUnits: 2, MemBWGBps: 8}
+	lc := []string{"xapian", "moses"}
+	be := []string{"stream"}
+	a := EvenPartition(spec, lc, be)
+	if err := a.Validate(spec, append(lc, be...)); err != nil {
+		t.Fatalf("tiny-node partition invalid: %v\n%s", err, a)
+	}
+	sh := a.SharedRegion()
+	if sh == nil {
+		t.Fatalf("no overflow shared region: %s", a)
+	}
+	if sh.Policy != FairShare {
+		t.Error("overflow region must be fair-share")
+	}
+	// The first (LC) application keeps an isolated partition.
+	if g := a.IsolatedRegionOf("xapian"); g == nil || g.Cores != 1 {
+		t.Errorf("first app lost its partition: %v", g)
+	}
+	// Everything still sums to the node.
+	for r := Cores; r < Resource(NumResources); r++ {
+		if a.Used(r) != spec.Capacity(r) {
+			t.Errorf("%s: used %d != capacity %d", r, a.Used(r), spec.Capacity(r))
+		}
+	}
+}
+
+func TestARQInitialShape(t *testing.T) {
+	spec := DefaultSpec()
+	lc := []string{"xapian", "moses"}
+	be := []string{"stream"}
+	a := ARQInitial(spec, lc, be)
+	if err := a.Validate(spec, append(lc, be...)); err != nil {
+		t.Fatalf("ARQ initial invalid: %v", err)
+	}
+	for _, app := range lc {
+		g := a.IsolatedRegionOf(app)
+		if g == nil {
+			t.Fatalf("no isolated region for %s", app)
+		}
+		if !g.Empty() {
+			t.Errorf("isolated region for %s not empty: %+v", app, g)
+		}
+	}
+	sh := a.SharedRegion()
+	if sh == nil {
+		t.Fatal("no shared region")
+	}
+	if sh.Policy != LCPriority {
+		t.Error("ARQ shared region must be LC-priority")
+	}
+	if sh.Cores != spec.Cores || sh.Ways != spec.LLCWays || sh.BWUnits != spec.MemBWUnits {
+		t.Errorf("ARQ shared region does not hold the whole node: %+v", sh)
+	}
+	for _, app := range append(lc, be...) {
+		if !sh.Has(app) {
+			t.Errorf("shared region missing %s", app)
+		}
+	}
+}

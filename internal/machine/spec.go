@@ -1,0 +1,124 @@
+// Package machine models the server node that a scheduling strategy manages:
+// its processing units, last-level-cache ways and memory bandwidth, and the
+// partitioning of those resources into isolated and shared regions.
+//
+// The model mirrors the experimental platform of the Ah-Q paper (Table III):
+// an Intel Xeon E5-2630 v4 with 10 cores and a 20-way LLC, with Intel CAT
+// used for way partitioning and taskset for core affinity. Memory bandwidth
+// is modelled in MBA-style units (tenths of the node's peak bandwidth).
+package machine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Resource identifies one schedulable resource dimension. Feedback
+// schedulers such as PARTIES and ARQ cycle through resource kinds with a
+// finite state machine when picking what to move next.
+type Resource int
+
+const (
+	// Cores is the processing-unit dimension (taskset granularity: 1 core).
+	Cores Resource = iota
+	// LLCWays is the last-level-cache dimension (CAT granularity: 1 way).
+	LLCWays
+	// MemBW is the memory-bandwidth dimension (MBA granularity: 1 unit,
+	// one tenth of node peak bandwidth).
+	MemBW
+	numResources
+)
+
+// NumResources is the count of schedulable resource dimensions.
+const NumResources = int(numResources)
+
+// String returns the conventional short name of the resource.
+func (r Resource) String() string {
+	switch r {
+	case Cores:
+		return "cores"
+	case LLCWays:
+		return "ways"
+	case MemBW:
+		return "membw"
+	default:
+		return fmt.Sprintf("resource(%d)", int(r))
+	}
+}
+
+// Spec describes the capacity of one node.
+type Spec struct {
+	// Cores is the number of physical processing units (hyper-threading
+	// disabled, as in the paper).
+	Cores int
+	// LLCWays is the number of ways per LLC set available to CAT.
+	LLCWays int
+	// MemBWUnits is the number of allocatable memory-bandwidth units.
+	MemBWUnits int
+	// MemBWGBps is the peak usable memory bandwidth in GB/s; one unit is
+	// MemBWGBps/MemBWUnits.
+	MemBWGBps float64
+}
+
+// DefaultSpec returns the node used throughout the paper's evaluation:
+// 10 cores, a 20-way LLC, and DDR4-2400 main memory. The usable bandwidth is
+// set to 40 GB/s so that a 10-thread STREAM instance saturates it, matching
+// the paper's "severe interference" setup.
+func DefaultSpec() Spec {
+	return Spec{Cores: 10, LLCWays: 20, MemBWUnits: 10, MemBWGBps: 40}
+}
+
+// Capacity returns the node's capacity in the given resource dimension.
+func (s Spec) Capacity(r Resource) int {
+	switch r {
+	case Cores:
+		return s.Cores
+	case LLCWays:
+		return s.LLCWays
+	case MemBW:
+		return s.MemBWUnits
+	default:
+		return 0
+	}
+}
+
+// Validate reports whether the spec describes a usable node.
+func (s Spec) Validate() error {
+	if s.Cores <= 0 {
+		return fmt.Errorf("machine: spec has %d cores, need at least 1", s.Cores)
+	}
+	if s.LLCWays <= 0 {
+		return fmt.Errorf("machine: spec has %d LLC ways, need at least 1", s.LLCWays)
+	}
+	if s.MemBWUnits <= 0 {
+		return fmt.Errorf("machine: spec has %d membw units, need at least 1", s.MemBWUnits)
+	}
+	if s.MemBWGBps <= 0 {
+		return fmt.Errorf("machine: spec has %.2f GB/s membw, need > 0", s.MemBWGBps)
+	}
+	return nil
+}
+
+// Shrink returns a copy of the spec restricted to the given number of cores
+// and ways, used by the resource-amount sweeps (Fig. 2, Fig. 3). Values are
+// clamped to [1, capacity].
+func (s Spec) Shrink(cores, ways int) Spec {
+	out := s
+	out.Cores = clamp(cores, 1, s.Cores)
+	out.LLCWays = clamp(ways, 1, s.LLCWays)
+	return out
+}
+
+// ErrOverCommit is returned by Allocation.Validate when a partitioning
+// assigns more of a resource than the node has.
+var ErrOverCommit = errors.New("machine: allocation overcommits node")
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

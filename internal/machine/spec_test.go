@@ -1,0 +1,96 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultSpecMatchesPaperPlatform(t *testing.T) {
+	s := DefaultSpec()
+	if s.Cores != 10 {
+		t.Errorf("Cores = %d, want 10 (Xeon E5-2630 v4)", s.Cores)
+	}
+	if s.LLCWays != 20 {
+		t.Errorf("LLCWays = %d, want 20 (Table III)", s.LLCWays)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"default", DefaultSpec(), true},
+		{"zero cores", Spec{Cores: 0, LLCWays: 20, MemBWUnits: 10, MemBWGBps: 40}, false},
+		{"zero ways", Spec{Cores: 10, LLCWays: 0, MemBWUnits: 10, MemBWGBps: 40}, false},
+		{"zero bw units", Spec{Cores: 10, LLCWays: 20, MemBWUnits: 0, MemBWGBps: 40}, false},
+		{"zero bw", Spec{Cores: 10, LLCWays: 20, MemBWUnits: 10, MemBWGBps: 0}, false},
+		{"minimal", Spec{Cores: 1, LLCWays: 1, MemBWUnits: 1, MemBWGBps: 1}, true},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestSpecCapacity(t *testing.T) {
+	s := DefaultSpec()
+	if got := s.Capacity(Cores); got != 10 {
+		t.Errorf("Capacity(Cores) = %d", got)
+	}
+	if got := s.Capacity(LLCWays); got != 20 {
+		t.Errorf("Capacity(LLCWays) = %d", got)
+	}
+	if got := s.Capacity(MemBW); got != 10 {
+		t.Errorf("Capacity(MemBW) = %d", got)
+	}
+	if got := s.Capacity(Resource(99)); got != 0 {
+		t.Errorf("Capacity(invalid) = %d, want 0", got)
+	}
+}
+
+func TestSpecShrinkClamps(t *testing.T) {
+	s := DefaultSpec()
+	sh := s.Shrink(6, 12)
+	if sh.Cores != 6 || sh.LLCWays != 12 {
+		t.Errorf("Shrink(6,12) = %+v", sh)
+	}
+	if sh := s.Shrink(0, 0); sh.Cores != 1 || sh.LLCWays != 1 {
+		t.Errorf("Shrink clamps low: %+v", sh)
+	}
+	if sh := s.Shrink(99, 99); sh.Cores != 10 || sh.LLCWays != 20 {
+		t.Errorf("Shrink clamps high: %+v", sh)
+	}
+}
+
+func TestShrinkNeverInvalid(t *testing.T) {
+	f := func(cores, ways int16) bool {
+		sh := DefaultSpec().Shrink(int(cores), int(ways))
+		return sh.Validate() == nil &&
+			sh.Cores >= 1 && sh.Cores <= 10 &&
+			sh.LLCWays >= 1 && sh.LLCWays <= 20
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	for r, want := range map[Resource]string{
+		Cores: "cores", LLCWays: "ways", MemBW: "membw",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), got, want)
+		}
+	}
+	if got := Resource(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown resource String() = %q", got)
+	}
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import "math"
+
+// P2 is the Jain & Chlamtac P-squared streaming quantile estimator. The
+// controller daemon uses it to track tail latency over long horizons without
+// retaining every sample; the simulator's 500 ms windows use exact
+// percentiles, and the two agree to within a few percent (see tests).
+type P2 struct {
+	p       float64
+	n       int
+	heights [5]float64 // marker heights
+	pos     [5]float64 // marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	inc     [5]float64 // desired position increments per observation
+	initial []float64
+}
+
+// NewP2 returns an estimator for the p-quantile, p in (0,1).
+func NewP2(p float64) *P2 {
+	e := &P2{p: p}
+	e.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Add observes one sample.
+func (e *P2) Add(x float64) {
+	if e.n < 5 {
+		e.initial = append(e.initial, x)
+		e.n++
+		if e.n == 5 {
+			sortFive(e.initial)
+			for i := 0; i < 5; i++ {
+				e.heights[i] = e.initial[i]
+				e.pos[i] = float64(i + 1)
+			}
+			e.want = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+			e.initial = nil
+		}
+		return
+	}
+	e.n++
+
+	// Find the cell k containing x and update extreme markers.
+	var k int
+	switch {
+	case x < e.heights[0]:
+		e.heights[0] = x
+		k = 0
+	case x >= e.heights[4]:
+		e.heights[4] = x
+		k = 3
+	default:
+		for i := 1; i < 5; i++ {
+			if x < e.heights[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.inc[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := e.parabolic(i, sign)
+			if e.heights[i-1] < h && h < e.heights[i+1] {
+				e.heights[i] = h
+			} else {
+				e.heights[i] = e.linear(i, sign)
+			}
+			e.pos[i] += sign
+		}
+	}
+}
+
+func (e *P2) parabolic(i int, d float64) float64 {
+	return e.heights[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.heights[i+1]-e.heights[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.heights[i]-e.heights[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.heights[i] + d*(e.heights[j]-e.heights[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five samples
+// it falls back to the exact quantile of what it has seen; with none it
+// returns NaN.
+func (e *P2) Value() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	if e.n < 5 {
+		tmp := append([]float64(nil), e.initial...)
+		sortFive(tmp)
+		return PercentileSorted(tmp, e.p)
+	}
+	return e.heights[2]
+}
+
+// Count returns the number of samples observed.
+func (e *P2) Count() int { return e.n }
+
+// Reset clears the estimator for reuse.
+func (e *P2) Reset() {
+	*e = *NewP2(e.p)
+}
+
+// sortFive is an insertion sort; inputs here are at most five elements.
+func sortFive(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

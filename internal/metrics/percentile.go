@@ -1,0 +1,82 @@
+// Package metrics provides the measurement substrate of the reproduction:
+// tail-latency percentile estimation (exact and streaming), sliding
+// measurement windows, and IPC accounting. It stands in for the performance
+// counters and the Tailbench latency harness of the paper's testbed.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-quantile (p in [0,1]) of the samples using linear
+// interpolation between closest ranks (the same convention as numpy's
+// default). It returns NaN for an empty slice. The input is not modified.
+func Percentile(samples []float64, p float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return samples[0]
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// PercentileSorted is like Percentile but requires the input to be sorted
+// ascending and does not copy it.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// P95 returns the 95th-percentile of the samples; the paper uses p95 as its
+// tail-latency metric throughout.
+func P95(samples []float64) float64 { return Percentile(samples, 0.95) }
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// Max returns the maximum, or NaN for an empty slice.
+func Max(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	m := samples[0]
+	for _, v := range samples[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

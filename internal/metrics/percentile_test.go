@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {1, 10}, {0.5, 5.5}, {0.25, 3.25}, {0.95, 9.55},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(p=%.2f) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty slice should give NaN")
+	}
+	if got := Percentile([]float64{7}, 0.95); got != 7 {
+		t.Errorf("single sample p95 = %g, want 7", got)
+	}
+	if got := Percentile([]float64{3, 1}, 1.5); got != 3 {
+		t.Errorf("p>1 should clamp to max, got %g", got)
+	}
+	if got := Percentile([]float64{3, 1}, -1); got != 1 {
+		t.Errorf("p<0 should clamp to min, got %g", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := float64(pRaw) / 255
+		got := Percentile(xs, p)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		// Bounded by the extremes and monotone in p.
+		if got < sorted[0] || got > sorted[len(sorted)-1] {
+			return false
+		}
+		return Percentile(xs, p) <= Percentile(xs, math.Min(1, p+0.1))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestP2AgainstExactOnLogNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		est := NewP2(p)
+		var xs []float64
+		for i := 0; i < 50_000; i++ {
+			v := math.Exp(rng.NormFloat64() * 0.8)
+			est.Add(v)
+			xs = append(xs, v)
+		}
+		exact := Percentile(xs, p)
+		got := est.Value()
+		if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+			t.Errorf("p=%.2f: P2 = %g vs exact %g (rel err %.3f)", p, got, exact, rel)
+		}
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	est := NewP2(0.95)
+	if !math.IsNaN(est.Value()) {
+		t.Error("empty estimator should report NaN")
+	}
+	est.Add(3)
+	est.Add(1)
+	// With two samples the fallback is the exact interpolated quantile:
+	// 1 + 0.95*(3-1) = 2.9.
+	if got := est.Value(); math.Abs(got-2.9) > 1e-9 {
+		t.Errorf("two-sample p95 = %g, want 2.9", got)
+	}
+	if est.Count() != 2 {
+		t.Errorf("Count = %d", est.Count())
+	}
+	est.Reset()
+	if est.Count() != 0 || !math.IsNaN(est.Value()) {
+		t.Error("Reset did not clear estimator")
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty Mean/Max should be NaN")
+	}
+	if got := Max([]float64{1, 5, 2}); got != 5 {
+		t.Errorf("Max = %g", got)
+	}
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import "math"
+
+// LatencyWindow accumulates request latencies over one monitoring interval
+// (500 ms in the paper) and yields the window's tail statistics. Snapshot
+// resets it for the next window.
+type LatencyWindow struct {
+	samples []float64
+	dropped int
+}
+
+// Observe records one completed request's latency in milliseconds.
+func (w *LatencyWindow) Observe(latencyMs float64) {
+	w.samples = append(w.samples, latencyMs)
+}
+
+// Drop records one request rejected by client-side backpressure.
+func (w *LatencyWindow) Drop() { w.dropped++ }
+
+// Len returns the number of latencies recorded in the current window.
+func (w *LatencyWindow) Len() int { return len(w.samples) }
+
+// WindowStats summarises one monitoring interval for one application.
+type WindowStats struct {
+	// P50, P95, P99 and Mean are latency percentiles in milliseconds over
+	// the window; NaN when no request completed.
+	P50, P95, P99, Mean float64
+	// Completed is the number of requests that finished in the window.
+	Completed int
+	// Dropped is the number of requests rejected by load-generator
+	// backpressure (finite client connection pools).
+	Dropped int
+}
+
+// Snapshot computes the window statistics and resets the window.
+func (w *LatencyWindow) Snapshot() WindowStats {
+	s := WindowStats{Completed: len(w.samples), Dropped: w.dropped}
+	if len(w.samples) == 0 {
+		s.P50, s.P95, s.P99, s.Mean = math.NaN(), math.NaN(), math.NaN(), math.NaN()
+	} else {
+		sorted := w.samples
+		insertionOrQuick(sorted)
+		s.P50 = PercentileSorted(sorted, 0.50)
+		s.P95 = PercentileSorted(sorted, 0.95)
+		s.P99 = PercentileSorted(sorted, 0.99)
+		sum := 0.0
+		for _, v := range sorted {
+			sum += v
+		}
+		s.Mean = sum / float64(len(sorted))
+	}
+	w.samples = w.samples[:0]
+	w.dropped = 0
+	return s
+}
+
+// WorkWindow accumulates best-effort work (core-milliseconds of effective
+// progress) over one monitoring interval to derive IPC.
+type WorkWindow struct {
+	workMs float64
+}
+
+// Add records effective work done during one tick.
+func (w *WorkWindow) Add(workMs float64) { w.workMs += workMs }
+
+// Snapshot returns the accumulated work and resets the window.
+func (w *WorkWindow) Snapshot() float64 {
+	v := w.workMs
+	w.workMs = 0
+	return v
+}
+
+// insertionOrQuick sorts in place; windows are typically a few hundred to a
+// few thousand samples, where the stdlib sort is fine, but tiny windows are
+// common in overload, so avoid its overhead for them.
+func insertionOrQuick(xs []float64) {
+	if len(xs) <= 32 {
+		for i := 1; i < len(xs); i++ {
+			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+		return
+	}
+	quickSort(xs)
+}
+
+func quickSort(xs []float64) {
+	if len(xs) <= 32 {
+		insertionOrQuick(xs)
+		return
+	}
+	pivot := median3(xs[0], xs[len(xs)/2], xs[len(xs)-1])
+	lo, hi := 0, len(xs)-1
+	for lo <= hi {
+		for xs[lo] < pivot {
+			lo++
+		}
+		for xs[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			xs[lo], xs[hi] = xs[hi], xs[lo]
+			lo++
+			hi--
+		}
+	}
+	quickSort(xs[:hi+1])
+	quickSort(xs[lo:])
+}
+
+func median3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}

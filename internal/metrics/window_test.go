@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyWindowSnapshot(t *testing.T) {
+	var w LatencyWindow
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		w.Observe(v)
+	}
+	w.Drop()
+	w.Drop()
+	if w.Len() != 5 {
+		t.Errorf("Len = %d", w.Len())
+	}
+	st := w.Snapshot()
+	if st.Completed != 5 || st.Dropped != 2 {
+		t.Errorf("Completed=%d Dropped=%d", st.Completed, st.Dropped)
+	}
+	if st.P50 != 3 || st.Mean != 3 {
+		t.Errorf("P50=%g Mean=%g", st.P50, st.Mean)
+	}
+	if st.P95 < 4.5 || st.P95 > 5 {
+		t.Errorf("P95 = %g", st.P95)
+	}
+	// Snapshot resets.
+	st2 := w.Snapshot()
+	if st2.Completed != 0 || !math.IsNaN(st2.P95) {
+		t.Errorf("window not reset: %+v", st2)
+	}
+}
+
+func TestLatencyWindowSortMatchesStdlib(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%2000 + 1
+		var w LatencyWindow
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.ExpFloat64() * 10
+			w.Observe(xs[i])
+		}
+		st := w.Snapshot()
+		sort.Float64s(xs)
+		want := PercentileSorted(xs, 0.95)
+		return math.Abs(st.P95-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkWindow(t *testing.T) {
+	var w WorkWindow
+	w.Add(1.5)
+	w.Add(2.5)
+	if got := w.Snapshot(); got != 4 {
+		t.Errorf("Snapshot = %g", got)
+	}
+	if got := w.Snapshot(); got != 0 {
+		t.Errorf("second Snapshot = %g, want 0 (reset)", got)
+	}
+}

@@ -1,0 +1,132 @@
+// Package predict is a closed-form what-if analyser: given an LC
+// application, a tentative resource share and a load, it predicts the p95
+// tail latency analytically (log-normal service percentile plus an
+// Allen-Cunneen M/G/c queueing correction, both inflated by the same
+// cache/bandwidth slowdown model the simulator uses). Predictions are
+// validated against the simulator in tests; a controller can use them to
+// pre-screen candidate allocations without paying for a simulation — the
+// kind of model CLITE's Bayesian optimiser could bootstrap from.
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ahq/internal/queueing"
+	"ahq/internal/workload"
+)
+
+// Share is the resource share a prediction assumes for the application.
+type Share struct {
+	// Cores is the core capacity available to the application's threads
+	// (fractional when shared).
+	Cores float64
+	// Ways is the effective LLC ways available.
+	Ways float64
+	// BWSatisfaction is the fraction of demanded memory bandwidth granted
+	// (1 when uncontended).
+	BWSatisfaction float64
+	// RefWays is the normalisation reference (the profiling
+	// configuration); 0 means 20, the default node's full LLC.
+	RefWays float64
+}
+
+// ErrOverloaded is returned when the predicted utilisation reaches 1.
+var ErrOverloaded = errors.New("predict: offered load saturates the share")
+
+// Slowdown returns the service inflation the share implies, matching the
+// simulator's steady-state model (cache factor times bandwidth factor,
+// normalised to the reference configuration).
+func Slowdown(app workload.LCApp, sh Share) float64 {
+	ref := sh.RefWays
+	if ref <= 0 {
+		ref = 20
+	}
+	miss := app.Cache.MissRatio(sh.Ways)
+	refMiss := app.Cache.MissRatio(ref)
+	cacheFactor := (1 + app.Sens.CacheSens*miss) / (1 + app.Sens.CacheSens*refMiss)
+	sat := sh.BWSatisfaction
+	if sat <= 0 || sat > 1 {
+		sat = 1
+	}
+	memFactor := 1 + app.Sens.MemSens*(1/sat-1)
+	return cacheFactor * memFactor
+}
+
+// P95 predicts the application's p95 latency in ms at the given load
+// fraction under the share.
+func P95(app workload.LCApp, sh Share, loadFrac float64) (float64, error) {
+	if err := app.Validate(); err != nil {
+		return 0, err
+	}
+	if loadFrac < 0 {
+		return 0, fmt.Errorf("predict: negative load %.3g", loadFrac)
+	}
+	if sh.Cores <= 0 {
+		return math.Inf(1), ErrOverloaded
+	}
+	slow := Slowdown(app, sh)
+	// When the share provides fewer cores than worker threads, the
+	// threads timeshare and every request's service stretches in place.
+	meanService := app.ServiceMeanMs * slow * stretch(app, sh)
+
+	lambda := loadFrac * app.MaxLoadQPS / 1000
+	q := queueing.MGc{
+		Servers:       app.Threads,
+		ArrivalRate:   lambda,
+		MeanServiceMs: meanService,
+		ServiceCV2:    queueing.LogNormalCV2(app.ServiceSigma),
+	}
+	if q.Rho() >= 1 {
+		return math.Inf(1), ErrOverloaded
+	}
+	wait, err := q.WaitPercentile(0.80)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	// p95 of (service + wait): approximate by the slowed service p95 plus
+	// a high-but-not-extreme wait quantile; the two maxima rarely
+	// coincide, and this split tracks the simulator well at the loads the
+	// evaluation uses (see tests).
+	return app.ServiceP95()*slow*stretch(app, sh) + wait, nil
+}
+
+// stretch is the thread-timesharing factor applied to the service
+// percentile when the share provides fewer cores than threads.
+func stretch(app workload.LCApp, sh Share) float64 {
+	if sh.Cores >= float64(app.Threads) || sh.Cores <= 0 {
+		return 1
+	}
+	return float64(app.Threads) / sh.Cores
+}
+
+// Satisfies predicts whether the application would meet its QoS target.
+func Satisfies(app workload.LCApp, sh Share, loadFrac float64) (bool, error) {
+	p95, err := P95(app, sh, loadFrac)
+	if errors.Is(err, ErrOverloaded) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return p95 <= app.QoSTargetMs, nil
+}
+
+// MaxLoad predicts the largest load fraction (within [0, 1.5], 1%
+// resolution) at which the application still meets its target under the
+// share; 0 when even idle load violates.
+func MaxLoad(app workload.LCApp, sh Share) (float64, error) {
+	lo := 0.0
+	for frac := 0.01; frac <= 1.5; frac += 0.01 {
+		ok, err := Satisfies(app, sh, frac)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return lo, nil
+		}
+		lo = frac
+	}
+	return lo, nil
+}

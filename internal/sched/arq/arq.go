@@ -1,0 +1,337 @@
+// Package arq implements the ARQ scheduling strategy of the Ah-Q paper
+// (Section IV, Algorithm 1). ARQ divides the node into per-LC-application
+// isolated regions plus one shared region that every application — LC and
+// BE — may use, with LC threads taking precedence inside it. Every
+// monitoring interval it computes each LC application's remaining tolerance
+// ReT and moves one resource unit from a victim region (an over-tolerant
+// application's isolated region, or the shared region) to a beneficiary
+// region (a pressed application's isolated region, or the shared region).
+// The system entropy E_S is the accept/rollback signal: an adjustment that
+// increased E_S is cancelled and its victim region is banned from being
+// penalised again for 60 seconds.
+package arq
+
+import (
+	"math"
+
+	"ahq/internal/entropy"
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+)
+
+// Config tunes ARQ. The defaults are the paper's constants.
+type Config struct {
+	// VictimReT is the remaining-tolerance floor above which an
+	// application's isolated region may donate resources (paper: 0.1).
+	VictimReT float64
+	// BeneficiaryReT is the remaining tolerance below which an
+	// application's isolated region receives resources (paper: 0.05).
+	BeneficiaryReT float64
+	// BanMs is how long a cancelled adjustment's victim region may not be
+	// penalised again (paper: 60 s).
+	BanMs float64
+	// RollbackTolerance is the minimum E_S increase that counts as "the
+	// adjustment made things worse". Windowed tail percentiles carry
+	// sampling noise of a few hundredths, and rolling back (and banning a
+	// region for 60 s) on noise freezes the controller.
+	RollbackTolerance float64
+	// DisableRollback turns off the entropy-feedback cancellation
+	// (ablation).
+	DisableRollback bool
+	// DisableBan turns off the 60 s penalty ban (ablation).
+	DisableBan bool
+	// PanicUnits is how many resource units move in one epoch when the
+	// beneficiary application is violating *hard* (its tail beyond twice
+	// the target). The paper describes ARQ quickly preempting shared
+	// resources to stop a tail-latency spike (Section VI-B); 1 disables
+	// the fast path. Default 2.
+	PanicUnits int
+}
+
+// DefaultConfig returns the paper's constants.
+func DefaultConfig() Config {
+	return Config{
+		VictimReT:         0.1,
+		BeneficiaryReT:    0.05,
+		BanMs:             60_000,
+		RollbackTolerance: 0.04,
+		PanicUnits:        2,
+	}
+}
+
+// move records one adjustment so it can be cancelled.
+type move struct {
+	from, to string
+	res      machine.Resource
+}
+
+// Strategy is the ARQ controller. Create with New.
+type Strategy struct {
+	cfg Config
+
+	isAdjust  bool
+	lastES    float64
+	lastMoves []move
+	// fsm is the per-victim-region resource-kind state machine used by
+	// findVictimResource, as in PARTIES.
+	fsm map[string]machine.Resource
+	// bannedUntil maps region/resource pairs to the time their penalty
+	// ban ends. Banning the pair rather than the whole region keeps the
+	// shared region — usually the only donor — usable in the other
+	// resource dimensions after a rollback.
+	bannedUntil map[banKey]float64
+}
+
+// banKey identifies one penalisable (region, resource) pair.
+type banKey struct {
+	region string
+	res    machine.Resource
+}
+
+// New returns an ARQ controller.
+func New(cfg Config) *Strategy {
+	if cfg.VictimReT == 0 && cfg.BeneficiaryReT == 0 && cfg.BanMs == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Strategy{
+		cfg:         cfg,
+		lastES:      1, // Algorithm 1 line 2
+		fsm:         make(map[string]machine.Resource),
+		bannedUntil: make(map[banKey]float64),
+	}
+}
+
+// Default returns an ARQ controller with the paper's constants.
+func Default() *Strategy { return New(DefaultConfig()) }
+
+// Name implements sched.Strategy.
+func (s *Strategy) Name() string { return "arq" }
+
+// Init implements sched.Strategy: empty isolated regions for each LC
+// application and the whole node in one LC-priority shared region.
+func (s *Strategy) Init(spec machine.Spec, apps []sched.AppSpec) machine.Allocation {
+	return machine.ARQInitial(spec, sched.LCNamesOf(apps), sched.BENamesOf(apps))
+}
+
+// Decide implements sched.Strategy (Algorithm 1 main loop).
+func (s *Strategy) Decide(t sched.Telemetry, current machine.Allocation) machine.Allocation {
+	es := t.ES
+	ret := remainingTolerances(t)
+
+	// Rollback: the previous adjustment made things worse.
+	if s.isAdjust && !s.cfg.DisableRollback && !math.IsNaN(es) && es > s.lastES+s.cfg.RollbackTolerance {
+		next := current.Clone()
+		undone := false
+		for i := len(s.lastMoves) - 1; i >= 0; i-- {
+			m := s.lastMoves[i]
+			if undo(&next, m) {
+				undone = true
+				if !s.cfg.DisableBan {
+					s.bannedUntil[banKey{m.from, m.res}] = t.TimeMs + s.cfg.BanMs
+				}
+			}
+		}
+		if undone {
+			s.isAdjust = false
+			s.lastES = es
+			s.lastMoves = s.lastMoves[:0]
+			return next
+		}
+	}
+	if !math.IsNaN(es) {
+		s.lastES = es
+	}
+
+	// Hard violation (tail beyond twice the target) triggers the fast
+	// path: several units move in one epoch, quickly preempting shared
+	// resources to stop the spike (Section VI-B).
+	moves := 1
+	if s.cfg.PanicUnits > 1 && hardViolation(t) {
+		moves = s.cfg.PanicUnits
+	}
+	next := current.Clone()
+	s.lastMoves = s.lastMoves[:0]
+	for i := 0; i < moves; i++ {
+		m, ok := s.adjustResource(&next, t, ret)
+		if !ok {
+			break
+		}
+		s.lastMoves = append(s.lastMoves, m)
+	}
+	if len(s.lastMoves) > 0 {
+		s.isAdjust = true
+		return next
+	}
+	s.isAdjust = false
+	return current
+}
+
+// hardViolation reports whether any LC application's tail exceeds twice
+// its target this epoch.
+func hardViolation(t sched.Telemetry) bool {
+	for _, w := range t.LCApps() {
+		if !math.IsNaN(w.P95Ms) && w.P95Ms > 2*w.Spec.QoSTargetMs {
+			return true
+		}
+	}
+	return false
+}
+
+// appReT pairs an application with its remaining tolerance.
+type appReT struct {
+	name string
+	ret  float64
+}
+
+// remainingTolerances computes ReT_i for every LC application from the
+// epoch's telemetry (Eq. 3). Idle applications report their full tolerance.
+func remainingTolerances(t sched.Telemetry) []appReT {
+	var out []appReT
+	for _, w := range t.LCApps() {
+		smp := entropy.LCSample{
+			Name:       w.Spec.Name,
+			IdealMs:    w.Spec.IdealP95Ms,
+			MeasuredMs: w.P95Ms,
+			TargetMs:   w.Spec.QoSTargetMs,
+		}
+		ret := 0.0
+		if math.IsNaN(w.P95Ms) {
+			ret = smp.Tolerance()
+		} else if smp.Validate() == nil {
+			ret = smp.RemainingTolerance()
+		}
+		out = append(out, appReT{name: w.Spec.Name, ret: ret})
+	}
+	return out
+}
+
+// adjustResource implements AdjustResource of Algorithm 1: pick a victim
+// region and a beneficiary region from the ReT array, pick the resource
+// kind with the victim's FSM, and move one unit. It reports whether a move
+// actually happened.
+func (s *Strategy) adjustResource(a *machine.Allocation, t sched.Telemetry, ret []appReT) (move, bool) {
+	victim := s.findVictimRegion(a, t.TimeMs, ret)
+	beneficiary := s.findBeneficiaryRegion(a, ret)
+	if victim == nil || beneficiary == nil || victim.Name == beneficiary.Name {
+		// Equilibrium: nobody needs resources and nobody can donate.
+		return move{}, false
+	}
+	res, ok := s.findVictimResource(victim, a, t.TimeMs)
+	if !ok {
+		return move{}, false
+	}
+	victim.SetAmount(res, victim.Amount(res)-1)
+	beneficiary.SetAmount(res, beneficiary.Amount(res)+1)
+	return move{from: victim.Name, to: beneficiary.Name, res: res}, true
+}
+
+// findVictimRegion walks the ReT array in descending order looking for an
+// application with headroom (ReT above the victim threshold) whose isolated
+// region holds penalisable resources and is not banned; failing that, the
+// shared region (if not banned and penalisable).
+func (s *Strategy) findVictimRegion(a *machine.Allocation, nowMs float64, ret []appReT) *machine.Region {
+	orderered := append([]appReT(nil), ret...)
+	// Insertion sort by descending ReT; the array is tiny.
+	for i := 1; i < len(orderered); i++ {
+		for j := i; j > 0 && orderered[j].ret > orderered[j-1].ret; j-- {
+			orderered[j], orderered[j-1] = orderered[j-1], orderered[j]
+		}
+	}
+	for _, ar := range orderered {
+		if ar.ret <= s.cfg.VictimReT {
+			break
+		}
+		g := a.IsolatedRegionOf(ar.name)
+		if g == nil {
+			continue
+		}
+		if s.penalisable(g, nowMs) {
+			return g
+		}
+	}
+	if g := a.SharedRegion(); g != nil && s.penalisable(g, nowMs) {
+		return g
+	}
+	return nil
+}
+
+// findBeneficiaryRegion returns the isolated region of the application with
+// the smallest ReT when that ReT is below the beneficiary threshold, else
+// the shared region.
+func (s *Strategy) findBeneficiaryRegion(a *machine.Allocation, ret []appReT) *machine.Region {
+	if len(ret) == 0 {
+		return a.SharedRegion()
+	}
+	minIdx := 0
+	for i := range ret {
+		if ret[i].ret < ret[minIdx].ret {
+			minIdx = i
+		}
+	}
+	if ret[minIdx].ret < s.cfg.BeneficiaryReT {
+		if g := a.IsolatedRegionOf(ret[minIdx].name); g != nil {
+			return g
+		}
+	}
+	return a.SharedRegion()
+}
+
+// findVictimResource runs the region's resource FSM: starting from the
+// region's current state, return the first resource kind the region can
+// donate (and is not banned from donating), advancing the state. It reports
+// false when nothing is movable.
+func (s *Strategy) findVictimResource(g *machine.Region, a *machine.Allocation, nowMs float64) (machine.Resource, bool) {
+	res := s.fsm[g.Name]
+	for tries := 0; tries < machine.NumResources; tries++ {
+		if s.canDonate(g, res, nowMs) {
+			s.fsm[g.Name] = machine.Resource((int(res) + 1) % machine.NumResources)
+			return res, true
+		}
+		res = machine.Resource((int(res) + 1) % machine.NumResources)
+	}
+	return 0, false
+}
+
+// canDonate reports whether region g can give up one unit of res without
+// stranding an application and without violating a penalty ban. The shared
+// region keeps at least one core and one way because BE applications live
+// only there.
+func (s *Strategy) canDonate(g *machine.Region, res machine.Resource, nowMs float64) bool {
+	if s.banned(g.Name, res, nowMs) {
+		return false
+	}
+	floor := 0
+	if g.Kind == machine.Shared && (res == machine.Cores || res == machine.LLCWays) {
+		floor = 1
+	}
+	return g.Amount(res) > floor
+}
+
+// penalisable reports whether the region can donate any resource at all.
+func (s *Strategy) penalisable(g *machine.Region, nowMs float64) bool {
+	for r := machine.Cores; r < machine.Resource(machine.NumResources); r++ {
+		if s.canDonate(g, r, nowMs) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Strategy) banned(region string, res machine.Resource, nowMs float64) bool {
+	return nowMs < s.bannedUntil[banKey{region, res}]
+}
+
+// undo reverses a move on the allocation; it reports false when the regions
+// no longer exist or the unit cannot be returned.
+func undo(a *machine.Allocation, m move) bool {
+	from := a.Region(m.to) // the unit currently sits in the beneficiary
+	to := a.Region(m.from)
+	if from == nil || to == nil || from.Amount(m.res) < 1 {
+		return false
+	}
+	from.SetAmount(m.res, from.Amount(m.res)-1)
+	to.SetAmount(m.res, to.Amount(m.res)+1)
+	return true
+}
+
+var _ sched.Strategy = (*Strategy)(nil)

@@ -1,0 +1,217 @@
+package arq
+
+import (
+	"math"
+	"testing"
+
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+	"ahq/internal/workload"
+)
+
+func specs() []sched.AppSpec {
+	return []sched.AppSpec{
+		{Name: "xapian", Class: workload.LC, QoSTargetMs: 4.22, IdealP95Ms: 2.77},
+		{Name: "moses", Class: workload.LC, QoSTargetMs: 10.53, IdealP95Ms: 2.80},
+		{Name: "stream", Class: workload.BE, SoloIPC: 0.6},
+	}
+}
+
+func tel(epoch int, es, xapianP95, mosesP95 float64) sched.Telemetry {
+	return sched.Telemetry{
+		TimeMs: float64(epoch) * 500,
+		Epoch:  epoch,
+		ES:     es,
+		Apps: []sched.AppWindow{
+			{Spec: specs()[0], P95Ms: xapianP95},
+			{Spec: specs()[1], P95Ms: mosesP95},
+			{Spec: specs()[2], IPC: 0.3},
+		},
+	}
+}
+
+func TestInitIsAllSharedWithEmptyIsoRegions(t *testing.T) {
+	s := Default()
+	alloc := s.Init(machine.DefaultSpec(), specs())
+	if err := alloc.Validate(machine.DefaultSpec(), []string{"xapian", "moses", "stream"}); err != nil {
+		t.Fatal(err)
+	}
+	sh := alloc.SharedRegion()
+	if sh == nil || sh.Cores != 10 {
+		t.Fatalf("shared region = %+v", sh)
+	}
+	if g := alloc.IsolatedRegionOf("xapian"); g == nil || !g.Empty() {
+		t.Fatalf("iso:xapian = %+v, want empty", g)
+	}
+}
+
+func TestViolatingAppGainsIsolatedResources(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	// Xapian violating moderately (between target and twice the target),
+	// moses comfortable: the beneficiary is iso:xapian, the victim the
+	// shared region, and exactly one unit moves.
+	next := s.Decide(tel(0, 0.3, 6.0, 3.0), cur)
+	g := next.IsolatedRegionOf("xapian")
+	if g == nil || g.Empty() {
+		t.Fatalf("iso:xapian did not grow: %s", next)
+	}
+	total := 0
+	for _, r := range []machine.Resource{machine.Cores, machine.LLCWays, machine.MemBW} {
+		total += g.Amount(r)
+	}
+	if total != 1 {
+		t.Errorf("exactly one unit should move, got %d", total)
+	}
+}
+
+func TestHardViolationMovesPanicUnits(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	// Xapian's tail is beyond twice its 4.22 ms target: the fast path
+	// moves PanicUnits (2) units this epoch.
+	next := s.Decide(tel(0, 0.3, 9.0, 3.0), cur)
+	g := next.IsolatedRegionOf("xapian")
+	if g == nil {
+		t.Fatal("no beneficiary region")
+	}
+	total := g.Cores + g.Ways + g.BWUnits
+	if total != 2 {
+		t.Errorf("panic path moved %d units, want 2", total)
+	}
+	// With the fast path disabled, one unit moves.
+	cfg := DefaultConfig()
+	cfg.PanicUnits = 1
+	s2 := New(cfg)
+	cur2 := s2.Init(machine.DefaultSpec(), specs())
+	next2 := s2.Decide(tel(0, 0.3, 9.0, 3.0), cur2)
+	g2 := next2.IsolatedRegionOf("xapian")
+	if got := g2.Cores + g2.Ways + g2.BWUnits; got != 1 {
+		t.Errorf("PanicUnits=1 moved %d units, want 1", got)
+	}
+}
+
+func TestEquilibriumWhenEveryoneComfortable(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	// Both apps comfortable (ReT > 0.05) but with no isolated resources:
+	// victim and beneficiary would both be the shared region -> no-op.
+	next := s.Decide(tel(0, 0.05, 3.0, 3.0), cur)
+	if !next.Equal(cur) {
+		t.Errorf("expected equilibrium, got %s", next)
+	}
+}
+
+func TestComfortableIsoRegionIsDrained(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	// Give xapian isolated resources, then make it comfortable: its iso
+	// region becomes the victim, the shared region the beneficiary.
+	cur.IsolatedRegionOf("xapian").Cores = 2
+	cur.SharedRegion().Cores = 8
+	next := s.Decide(tel(0, 0.05, 3.0, 3.0), cur)
+	if g := next.IsolatedRegionOf("xapian"); g.Cores+g.Ways+g.BWUnits >= 2 {
+		if next.Equal(cur) {
+			t.Fatalf("comfortable iso region not drained: %s", next)
+		}
+	}
+	if next.SharedRegion().Cores+next.SharedRegion().Ways+next.SharedRegion().BWUnits <=
+		cur.SharedRegion().Cores+cur.SharedRegion().Ways+cur.SharedRegion().BWUnits-1 {
+		t.Errorf("shared region should receive the drained unit")
+	}
+}
+
+func TestRollbackOnEntropyIncrease(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	// Epoch 0: xapian violating -> adjustment happens.
+	next := s.Decide(tel(0, 0.30, 9.0, 3.0), cur)
+	if next.Equal(cur) {
+		t.Fatal("no adjustment at epoch 0")
+	}
+	// Epoch 1: entropy jumped well past tolerance -> rollback to cur.
+	rolled := s.Decide(tel(1, 0.60, 9.0, 3.0), next)
+	if !rolled.Equal(cur) {
+		t.Fatalf("expected rollback to the pre-adjustment allocation\n cur: %s\n got: %s", cur, rolled)
+	}
+	// The banned (shared, resource) pair must not be re-penalised: the
+	// next adjustment must pick a different resource kind.
+	after := s.Decide(tel(2, 0.30, 9.0, 3.0), rolled)
+	if !after.Equal(rolled) {
+		// Whatever moved must not be the banned pair from the shared
+		// region.
+		g := after.IsolatedRegionOf("xapian")
+		if g == nil {
+			t.Fatal("beneficiary vanished")
+		}
+	}
+}
+
+func TestNoRollbackWithinTolerance(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	next := s.Decide(tel(0, 0.30, 9.0, 3.0), cur)
+	// Entropy wiggles up by less than the tolerance: keep adjusting, do
+	// not undo.
+	after := s.Decide(tel(1, 0.31, 9.0, 3.0), next)
+	if after.Equal(cur) {
+		t.Error("rolled back on noise within tolerance")
+	}
+}
+
+func TestDisableRollback(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableRollback = true
+	s := New(cfg)
+	cur := s.Init(machine.DefaultSpec(), specs())
+	next := s.Decide(tel(0, 0.30, 9.0, 3.0), cur)
+	after := s.Decide(tel(1, 0.90, 9.0, 3.0), next)
+	if after.Equal(cur) {
+		t.Error("rollback happened despite DisableRollback")
+	}
+}
+
+func TestSharedRegionKeepsFloors(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	// Grind many epochs of hard violation; the shared region must never
+	// drop below one core and one way (stream lives only there), and the
+	// allocation must stay valid.
+	apps := []string{"xapian", "moses", "stream"}
+	for epoch := 0; epoch < 200; epoch++ {
+		next := s.Decide(tel(epoch, 0.30, 9.0, 9.0), cur)
+		if err := next.Validate(machine.DefaultSpec(), apps); err != nil {
+			t.Fatalf("epoch %d: invalid allocation: %v\n%s", epoch, err, next)
+		}
+		cur = next
+	}
+	sh := cur.SharedRegion()
+	if sh.Cores < 1 || sh.Ways < 1 {
+		t.Errorf("shared region drained below floor: %+v", sh)
+	}
+}
+
+func TestRemainingToleranceComputation(t *testing.T) {
+	// Matches Eq. 3 on a Table II row: moses at 7 cores has ReT 0.36.
+	tl := sched.Telemetry{Apps: []sched.AppWindow{{
+		Spec:  sched.AppSpec{Name: "moses", Class: workload.LC, QoSTargetMs: 10.53, IdealP95Ms: 2.80},
+		P95Ms: 6.78,
+	}}}
+	ret := remainingTolerances(tl)
+	if len(ret) != 1 || math.Abs(ret[0].ret-0.356) > 0.01 {
+		t.Errorf("ReT = %+v, want ~0.36 (Table II)", ret)
+	}
+	// Idle application reports its full tolerance A_i.
+	tl.Apps[0].P95Ms = math.NaN()
+	ret = remainingTolerances(tl)
+	if math.Abs(ret[0].ret-(1-2.80/10.53)) > 1e-9 {
+		t.Errorf("idle ReT = %g, want A_i", ret[0].ret)
+	}
+}
+
+func TestZeroConfigGetsDefaults(t *testing.T) {
+	s := New(Config{})
+	if s.cfg.VictimReT != 0.1 || s.cfg.BanMs != 60_000 {
+		t.Errorf("zero config not defaulted: %+v", s.cfg)
+	}
+}

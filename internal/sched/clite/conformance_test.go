@@ -1,0 +1,18 @@
+package clite
+
+import (
+	"testing"
+
+	"ahq/internal/sched"
+	"ahq/internal/sched/schedtest"
+)
+
+func TestConformance(t *testing.T) {
+	seed := int64(0)
+	schedtest.Run(t, func() sched.Strategy {
+		seed++
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		return New(cfg)
+	})
+}

@@ -1,0 +1,156 @@
+// Package heracles implements a Heracles-style controller (Lo et al.,
+// ISCA 2015), the threshold-based ancestor of PARTIES that the Ah-Q paper
+// discusses in related work. Heracles treats the best-effort class as one
+// growable partition: when every latency-critical application has
+// comfortable slack the BE partition grows one unit; when any LC
+// application's slack falls below a danger threshold the BE partition is
+// shrunk aggressively (two units per interval), and BE growth is disallowed
+// until slack recovers. Unlike PARTIES it never rebalances resources
+// *between* LC applications — which is exactly the limitation the later
+// systems address — so it serves as an instructive extra baseline.
+package heracles
+
+import (
+	"math"
+
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// DangerSlack is the slack below which BE is shrunk (default 0.05).
+	DangerSlack float64
+	// GrowSlack is the minimum slack of *every* LC application required
+	// to grow BE (default 0.25).
+	GrowSlack float64
+	// ShrinkUnits is how many units move away from BE per violating
+	// interval (default 2 — Heracles reacts fast on danger).
+	ShrinkUnits int
+}
+
+// DefaultConfig returns the defaults above.
+func DefaultConfig() Config {
+	return Config{DangerSlack: 0.05, GrowSlack: 0.25, ShrinkUnits: 2}
+}
+
+// Strategy is the Heracles controller. Create with New.
+type Strategy struct {
+	cfg Config
+	// fsm cycles the resource kind considered for growth, so BE gains a
+	// balanced mix over time.
+	fsm machine.Resource
+}
+
+// New returns a Heracles controller.
+func New(cfg Config) *Strategy {
+	if cfg.DangerSlack == 0 && cfg.GrowSlack == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.ShrinkUnits <= 0 {
+		cfg.ShrinkUnits = 2
+	}
+	return &Strategy{cfg: cfg}
+}
+
+// Default returns a controller with DefaultConfig.
+func Default() *Strategy { return New(DefaultConfig()) }
+
+// Name implements sched.Strategy.
+func (s *Strategy) Name() string { return "heracles" }
+
+// Init implements sched.Strategy: the LC applications share one
+// LC-priority region holding most of the node; the BE applications share a
+// small starter partition (one unit of each resource kind).
+func (s *Strategy) Init(spec machine.Spec, apps []sched.AppSpec) machine.Allocation {
+	lc := sched.LCNamesOf(apps)
+	be := sched.BENamesOf(apps)
+	if len(be) == 0 {
+		return machine.AllShared(spec, machine.LCPriority, lc)
+	}
+	if len(lc) == 0 {
+		return machine.AllShared(spec, machine.FairShare, be)
+	}
+	return machine.Allocation{Regions: []machine.Region{
+		{
+			Name: "lc", Kind: machine.Shared, Policy: machine.LCPriority,
+			Cores: spec.Cores - 1, Ways: spec.LLCWays - 1, BWUnits: spec.MemBWUnits - 1,
+			Apps: sortedCopy(lc),
+		},
+		{
+			Name: "be", Kind: machine.Shared, Policy: machine.FairShare,
+			Cores: 1, Ways: 1, BWUnits: 1,
+			Apps: sortedCopy(be),
+		},
+	}}
+}
+
+// Decide implements sched.Strategy.
+func (s *Strategy) Decide(t sched.Telemetry, current machine.Allocation) machine.Allocation {
+	lcRegion := current.Region("lc")
+	beRegion := current.Region("be")
+	if lcRegion == nil || beRegion == nil {
+		return current // degenerate mixes have nothing to adjust
+	}
+	minSlack := math.Inf(1)
+	any := false
+	for _, w := range t.LCApps() {
+		sl := w.Slack()
+		if math.IsNaN(sl) {
+			continue
+		}
+		any = true
+		if sl < minSlack {
+			minSlack = sl
+		}
+	}
+	if !any {
+		return current
+	}
+	next := current.Clone()
+	lcN, beN := next.Region("lc"), next.Region("be")
+	switch {
+	case minSlack < s.cfg.DangerSlack:
+		// Danger: claw resources back from BE, every kind, fast.
+		moved := false
+		for i := 0; i < s.cfg.ShrinkUnits; i++ {
+			for r := machine.Cores; r < machine.Resource(machine.NumResources); r++ {
+				if beN.Amount(r) > 1 {
+					beN.SetAmount(r, beN.Amount(r)-1)
+					lcN.SetAmount(r, lcN.Amount(r)+1)
+					moved = true
+				}
+			}
+		}
+		if !moved {
+			return current
+		}
+		return next
+	case minSlack > s.cfg.GrowSlack:
+		// Comfortable: grow BE by one unit of the FSM's kind.
+		for tries := 0; tries < machine.NumResources; tries++ {
+			r := s.fsm
+			s.fsm = machine.Resource((int(s.fsm) + 1) % machine.NumResources)
+			if lcN.Amount(r) > 1 {
+				lcN.SetAmount(r, lcN.Amount(r)-1)
+				beN.SetAmount(r, beN.Amount(r)+1)
+				return next
+			}
+		}
+		return current
+	default:
+		return current
+	}
+}
+
+func sortedCopy(xs []string) []string {
+	out := append([]string(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+var _ sched.Strategy = (*Strategy)(nil)

@@ -1,0 +1,143 @@
+package heracles
+
+import (
+	"math"
+	"testing"
+
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+	"ahq/internal/workload"
+)
+
+func specs() []sched.AppSpec {
+	return []sched.AppSpec{
+		{Name: "xapian", Class: workload.LC, QoSTargetMs: 4.22, IdealP95Ms: 2.77},
+		{Name: "moses", Class: workload.LC, QoSTargetMs: 10.53, IdealP95Ms: 2.80},
+		{Name: "stream", Class: workload.BE, SoloIPC: 0.6},
+	}
+}
+
+func appNames() []string { return []string{"xapian", "moses", "stream"} }
+
+func tel(xapianP95, mosesP95 float64) sched.Telemetry {
+	return sched.Telemetry{Apps: []sched.AppWindow{
+		{Spec: specs()[0], P95Ms: xapianP95},
+		{Spec: specs()[1], P95Ms: mosesP95},
+		{Spec: specs()[2], IPC: 0.3},
+	}}
+}
+
+func TestInitShape(t *testing.T) {
+	s := Default()
+	alloc := s.Init(machine.DefaultSpec(), specs())
+	if err := alloc.Validate(machine.DefaultSpec(), appNames()); err != nil {
+		t.Fatal(err)
+	}
+	lc, be := alloc.Region("lc"), alloc.Region("be")
+	if lc == nil || be == nil {
+		t.Fatalf("missing regions: %s", alloc)
+	}
+	if lc.Policy != machine.LCPriority {
+		t.Error("LC region must be LC-priority")
+	}
+	if be.Cores != 1 || be.Ways != 1 || be.BWUnits != 1 {
+		t.Errorf("BE starter partition = %+v", be)
+	}
+}
+
+func TestInitDegenerateMixes(t *testing.T) {
+	s := Default()
+	lcOnly := s.Init(machine.DefaultSpec(), specs()[:2])
+	if lcOnly.SharedRegion() == nil || len(lcOnly.Regions) != 1 {
+		t.Errorf("LC-only init = %s", lcOnly)
+	}
+	beOnly := s.Init(machine.DefaultSpec(), specs()[2:])
+	if beOnly.SharedRegion() == nil || len(beOnly.Regions) != 1 {
+		t.Errorf("BE-only init = %s", beOnly)
+	}
+}
+
+func TestGrowsBEWhenComfortable(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	next := s.Decide(tel(1.0, 2.0), cur) // both far below target
+	be := next.Region("be")
+	total := be.Cores + be.Ways + be.BWUnits
+	if total != 4 {
+		t.Errorf("BE total after growth = %d, want 4 (one unit moved)", total)
+	}
+}
+
+func TestShrinksBEOnDanger(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	// Grow BE first.
+	for i := 0; i < 9; i++ {
+		cur = s.Decide(tel(1.0, 2.0), cur)
+	}
+	beBefore := cur.Region("be")
+	totalBefore := beBefore.Cores + beBefore.Ways + beBefore.BWUnits
+	if totalBefore <= 3 {
+		t.Fatalf("BE did not grow during setup: %+v", beBefore)
+	}
+	// Danger: xapian violating.
+	next := s.Decide(tel(9.0, 2.0), cur)
+	beAfter := next.Region("be")
+	totalAfter := beAfter.Cores + beAfter.Ways + beAfter.BWUnits
+	if totalAfter >= totalBefore {
+		t.Errorf("BE not shrunk on danger: %d -> %d", totalBefore, totalAfter)
+	}
+	// Shrink is aggressive: more than one unit per interval.
+	if totalBefore-totalAfter < 2 {
+		t.Errorf("shrink moved only %d units", totalBefore-totalAfter)
+	}
+}
+
+func TestDeadBandHolds(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	// Slack between thresholds: ~0.15 for xapian.
+	next := s.Decide(tel(0.85*4.22, 2.0), cur)
+	if !next.Equal(cur) {
+		t.Error("dead band adjusted")
+	}
+}
+
+func TestFloorsAlwaysRespected(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	// Alternate hard violation and comfort for many epochs; allocation
+	// must stay valid and both regions keep at least one unit of each.
+	for epoch := 0; epoch < 120; epoch++ {
+		var tl sched.Telemetry
+		if epoch%3 == 0 {
+			tl = tel(9.0, 9.0)
+		} else {
+			tl = tel(1.0, 1.0)
+		}
+		next := s.Decide(tl, cur)
+		if err := next.Validate(machine.DefaultSpec(), appNames()); err != nil {
+			t.Fatalf("epoch %d: %v\n%s", epoch, err, next)
+		}
+		cur = next
+	}
+	for _, name := range []string{"lc", "be"} {
+		g := cur.Region(name)
+		if g.Cores < 1 || g.Ways < 1 || g.BWUnits < 1 {
+			t.Errorf("%s region below floor: %+v", name, g)
+		}
+	}
+}
+
+func TestIdleTelemetryIsNoOp(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	idle := sched.Telemetry{Apps: []sched.AppWindow{
+		{Spec: specs()[0], P95Ms: math.NaN()},
+		{Spec: specs()[1], P95Ms: math.NaN()},
+		{Spec: specs()[2], IPC: 0.3},
+	}}
+	if next := s.Decide(idle, cur); !next.Equal(cur) {
+		t.Error("idle telemetry adjusted")
+	}
+}

@@ -1,0 +1,12 @@
+package parties
+
+import (
+	"testing"
+
+	"ahq/internal/sched"
+	"ahq/internal/sched/schedtest"
+)
+
+func TestConformance(t *testing.T) {
+	schedtest.Run(t, func() sched.Strategy { return Default() })
+}

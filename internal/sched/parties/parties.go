@@ -1,0 +1,245 @@
+// Package parties reproduces the PARTIES resource manager (Chen, Delimitrou,
+// Martínez — ASPLOS 2019) as characterised in the Ah-Q paper: strict
+// per-application partitioning of cores, LLC ways and memory bandwidth, with
+// a slack-driven feedback loop that upsizes the partition of a QoS-violating
+// LC application one resource unit per 500 ms interval and tentatively
+// downsizes over-provisioned ones to grow the best-effort partition. A
+// per-application finite state machine cycles through resource kinds when
+// the previous adjustment of the current kind brought no improvement.
+package parties
+
+import (
+	"math"
+
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+)
+
+// Thresholds tune the slack bands of the controller.
+type Thresholds struct {
+	// Upsize is the slack below which an application is considered
+	// violating and gets more resources (paper-style: at or below 0.05,
+	// i.e. within 5% of its target or beyond it).
+	Upsize float64
+	// Downsize is the slack above which an application is considered
+	// over-provisioned and may donate resources to best effort.
+	Downsize float64
+}
+
+// DefaultThresholds mirror the bands used by PARTIES.
+func DefaultThresholds() Thresholds { return Thresholds{Upsize: 0.05, Downsize: 0.35} }
+
+// Strategy is the PARTIES controller. Create with New.
+type Strategy struct {
+	th Thresholds
+
+	// fsm holds each LC application's current resource kind to adjust.
+	fsm map[string]machine.Resource
+	// lastP95 remembers the latency observed when the application was
+	// last upsized, to detect "no improvement" and rotate the FSM.
+	lastP95 map[string]float64
+	// lastUpsized names the application adjusted in the previous epoch.
+	lastUpsized string
+}
+
+// New returns a PARTIES controller with the given thresholds.
+func New(th Thresholds) *Strategy {
+	return &Strategy{
+		th:      th,
+		fsm:     make(map[string]machine.Resource),
+		lastP95: make(map[string]float64),
+	}
+}
+
+// Default returns a PARTIES controller with DefaultThresholds.
+func Default() *Strategy { return New(DefaultThresholds()) }
+
+// Name implements sched.Strategy.
+func (s *Strategy) Name() string { return "parties" }
+
+// Init implements sched.Strategy: strict even partitioning across every
+// collocated application, LC and BE alike.
+func (s *Strategy) Init(spec machine.Spec, apps []sched.AppSpec) machine.Allocation {
+	return machine.EvenPartition(spec, sched.LCNamesOf(apps), sched.BENamesOf(apps))
+}
+
+// Decide implements sched.Strategy: at most one resource unit moves per
+// monitoring interval.
+func (s *Strategy) Decide(t sched.Telemetry, current machine.Allocation) machine.Allocation {
+	next := current.Clone()
+
+	// Rotate the FSM of the application upsized last epoch if the upsize
+	// did not improve its latency.
+	if s.lastUpsized != "" {
+		if w := t.App(s.lastUpsized); w != nil && !math.IsNaN(w.P95Ms) {
+			if prev, ok := s.lastP95[s.lastUpsized]; ok && w.P95Ms >= prev*0.98 {
+				s.fsm[s.lastUpsized] = nextResource(s.fsm[s.lastUpsized])
+			}
+		}
+		s.lastUpsized = ""
+	}
+
+	// Phase 1: the most violating LC application gets one more unit.
+	if ben := s.mostViolating(t); ben != nil {
+		res := s.fsm[ben.Spec.Name]
+		for tries := 0; tries < machine.NumResources; tries++ {
+			if s.upsize(&next, t, ben.Spec.Name, res) {
+				s.lastUpsized = ben.Spec.Name
+				s.lastP95[ben.Spec.Name] = ben.P95Ms
+				s.fsm[ben.Spec.Name] = res
+				return next
+			}
+			res = nextResource(res)
+		}
+		return current
+	}
+
+	// Phase 2: everyone satisfied with margin — tentatively shrink the
+	// most over-provisioned LC application to grow best effort.
+	if donor := s.mostOverProvisioned(t); donor != nil {
+		res := s.fsm[donor.Spec.Name]
+		for tries := 0; tries < machine.NumResources; tries++ {
+			if s.downsize(&next, t, donor.Spec.Name, res) {
+				return next
+			}
+			res = nextResource(res)
+		}
+	}
+	return current
+}
+
+// mostViolating returns the LC window with the lowest slack if that slack
+// is at or below the upsize threshold.
+func (s *Strategy) mostViolating(t sched.Telemetry) *sched.AppWindow {
+	var worst *sched.AppWindow
+	worstSlack := math.Inf(1)
+	lcs := t.LCApps()
+	for i := range lcs {
+		sl := lcs[i].Slack()
+		if math.IsNaN(sl) {
+			continue
+		}
+		if sl < worstSlack {
+			worstSlack = sl
+			worst = &lcs[i]
+		}
+	}
+	if worst == nil || worstSlack > s.th.Upsize {
+		return nil
+	}
+	return worst
+}
+
+// mostOverProvisioned returns the LC window with the highest slack if that
+// slack exceeds the downsize threshold.
+func (s *Strategy) mostOverProvisioned(t sched.Telemetry) *sched.AppWindow {
+	var best *sched.AppWindow
+	bestSlack := math.Inf(-1)
+	lcs := t.LCApps()
+	for i := range lcs {
+		sl := lcs[i].Slack()
+		if math.IsNaN(sl) {
+			// Idle application: maximal slack, ideal donor.
+			sl = 1
+		}
+		if sl > bestSlack {
+			bestSlack = sl
+			best = &lcs[i]
+		}
+	}
+	if best == nil || bestSlack < s.th.Downsize {
+		return nil
+	}
+	return best
+}
+
+// upsize moves one unit of res to the beneficiary from the best donor:
+// first the BE partition with the most of that resource, then the LC
+// application with the highest slack above the downsize threshold. It
+// reports whether a move happened.
+func (s *Strategy) upsize(a *machine.Allocation, t sched.Telemetry, beneficiary string, res machine.Resource) bool {
+	ben := a.IsolatedRegionOf(beneficiary)
+	if ben == nil {
+		return false
+	}
+	if donor := s.richestBE(a, t, res); donor != nil {
+		return moveUnit(donor, ben, res)
+	}
+	// Fall back to the most over-provisioned other LC application.
+	if over := s.mostOverProvisioned(t); over != nil && over.Spec.Name != beneficiary {
+		if donor := a.IsolatedRegionOf(over.Spec.Name); donor != nil {
+			return moveUnit(donor, ben, res)
+		}
+	}
+	return false
+}
+
+// downsize moves one unit of res from the donor LC application to the
+// poorest BE partition. It reports whether a move happened.
+func (s *Strategy) downsize(a *machine.Allocation, t sched.Telemetry, donor string, res machine.Resource) bool {
+	don := a.IsolatedRegionOf(donor)
+	if don == nil {
+		return false
+	}
+	ben := s.poorestBE(a, t, res)
+	if ben == nil {
+		return false
+	}
+	return moveUnit(don, ben, res)
+}
+
+// richestBE returns the BE partition holding the most of res with spare to
+// give (above the floor), or nil.
+func (s *Strategy) richestBE(a *machine.Allocation, t sched.Telemetry, res machine.Resource) *machine.Region {
+	var best *machine.Region
+	for _, w := range t.BEApps() {
+		g := a.IsolatedRegionOf(w.Spec.Name)
+		if g == nil || g.Amount(res) <= floorOf(res) {
+			continue
+		}
+		if best == nil || g.Amount(res) > best.Amount(res) {
+			best = g
+		}
+	}
+	return best
+}
+
+// poorestBE returns the BE partition holding the least of res, or nil.
+func (s *Strategy) poorestBE(a *machine.Allocation, t sched.Telemetry, res machine.Resource) *machine.Region {
+	var best *machine.Region
+	for _, w := range t.BEApps() {
+		g := a.IsolatedRegionOf(w.Spec.Name)
+		if g == nil {
+			continue
+		}
+		if best == nil || g.Amount(res) < best.Amount(res) {
+			best = g
+		}
+	}
+	return best
+}
+
+// moveUnit transfers one unit of res between regions, respecting the
+// donor's floor (every partition keeps at least one core, one way and one
+// bandwidth unit so its application can still run).
+func moveUnit(from, to *machine.Region, res machine.Resource) bool {
+	if from == nil || to == nil || from == to {
+		return false
+	}
+	if from.Amount(res) <= floorOf(res) {
+		return false
+	}
+	from.SetAmount(res, from.Amount(res)-1)
+	to.SetAmount(res, to.Amount(res)+1)
+	return true
+}
+
+// floorOf is the minimum a partition may hold of each resource.
+func floorOf(machine.Resource) int { return 1 }
+
+// nextResource cycles cores -> ways -> membw -> cores.
+func nextResource(r machine.Resource) machine.Resource {
+	return machine.Resource((int(r) + 1) % machine.NumResources)
+}
+
+var _ sched.Strategy = (*Strategy)(nil)

@@ -1,0 +1,174 @@
+package parties
+
+import (
+	"math"
+	"testing"
+
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+	"ahq/internal/workload"
+)
+
+func specs() []sched.AppSpec {
+	return []sched.AppSpec{
+		{Name: "xapian", Class: workload.LC, QoSTargetMs: 4.22, IdealP95Ms: 2.77},
+		{Name: "moses", Class: workload.LC, QoSTargetMs: 10.53, IdealP95Ms: 2.80},
+		{Name: "stream", Class: workload.BE, SoloIPC: 0.6},
+	}
+}
+
+func tel(epoch int, xapianP95, mosesP95 float64) sched.Telemetry {
+	return sched.Telemetry{
+		TimeMs: float64(epoch) * 500,
+		Epoch:  epoch,
+		Apps: []sched.AppWindow{
+			{Spec: specs()[0], P95Ms: xapianP95},
+			{Spec: specs()[1], P95Ms: mosesP95},
+			{Spec: specs()[2], IPC: 0.3},
+		},
+	}
+}
+
+func appNames() []string { return []string{"xapian", "moses", "stream"} }
+
+func TestInitIsStrictEvenPartition(t *testing.T) {
+	s := Default()
+	alloc := s.Init(machine.DefaultSpec(), specs())
+	if err := alloc.Validate(machine.DefaultSpec(), appNames()); err != nil {
+		t.Fatal(err)
+	}
+	if alloc.SharedRegion() != nil {
+		t.Error("PARTIES must not have a shared region")
+	}
+	for _, name := range appNames() {
+		if alloc.IsolatedRegionOf(name) == nil {
+			t.Errorf("no partition for %s", name)
+		}
+	}
+	if alloc.Used(machine.Cores) != 10 {
+		t.Errorf("partition does not use all cores: %s", alloc)
+	}
+}
+
+func TestUpsizeTakesFromBE(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	beBefore := cur.IsolatedRegionOf("stream").Cores +
+		cur.IsolatedRegionOf("stream").Ways + cur.IsolatedRegionOf("stream").BWUnits
+	// Xapian violating: one unit moves into its partition, from the BE
+	// partition.
+	next := s.Decide(tel(0, 9.0, 3.0), cur)
+	if next.Equal(cur) {
+		t.Fatal("violation produced no adjustment")
+	}
+	xBefore := cur.IsolatedRegionOf("xapian")
+	xAfter := next.IsolatedRegionOf("xapian")
+	gained := (xAfter.Cores - xBefore.Cores) + (xAfter.Ways - xBefore.Ways) + (xAfter.BWUnits - xBefore.BWUnits)
+	if gained != 1 {
+		t.Errorf("beneficiary gained %d units, want 1", gained)
+	}
+	beAfter := next.IsolatedRegionOf("stream").Cores +
+		next.IsolatedRegionOf("stream").Ways + next.IsolatedRegionOf("stream").BWUnits
+	if beAfter != beBefore-1 {
+		t.Errorf("BE partition lost %d units, want 1", beBefore-beAfter)
+	}
+}
+
+func TestDownsizeWhenAllComfortable(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	// Both LC apps far below target (slack > 0.35): a unit flows to BE.
+	next := s.Decide(tel(0, 1.0, 1.0), cur)
+	if next.Equal(cur) {
+		t.Fatal("over-provisioning produced no downsize")
+	}
+	beBefore := cur.IsolatedRegionOf("stream")
+	beAfter := next.IsolatedRegionOf("stream")
+	gained := (beAfter.Cores - beBefore.Cores) + (beAfter.Ways - beBefore.Ways) + (beAfter.BWUnits - beBefore.BWUnits)
+	if gained != 1 {
+		t.Errorf("BE gained %d units, want 1", gained)
+	}
+}
+
+func TestNoChangeInDeadBand(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	// Slack between the thresholds for both apps: no adjustment. Slack
+	// 0.2: p95 = 0.8 * target.
+	next := s.Decide(tel(0, 0.8*4.22, 0.8*10.53), cur)
+	if !next.Equal(cur) {
+		t.Errorf("dead band adjusted anyway: %s", next)
+	}
+}
+
+func TestPartitionsKeepFloors(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	for epoch := 0; epoch < 200; epoch++ {
+		next := s.Decide(tel(epoch, 9.0, 9.0), cur)
+		if err := next.Validate(machine.DefaultSpec(), appNames()); err != nil {
+			t.Fatalf("epoch %d: %v\n%s", epoch, err, next)
+		}
+		cur = next
+	}
+	for _, name := range appNames() {
+		g := cur.IsolatedRegionOf(name)
+		if g.Cores < 1 || g.Ways < 1 || g.BWUnits < 1 {
+			t.Errorf("%s partition below floor: %+v", name, g)
+		}
+	}
+}
+
+func TestFSMRotatesOnNoImprovement(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	// Repeated violations with unchanging latency: the FSM must cycle
+	// through resource kinds rather than moving only cores.
+	kinds := map[machine.Resource]bool{}
+	for epoch := 0; epoch < 6; epoch++ {
+		next := s.Decide(tel(epoch, 9.0, 3.0), cur)
+		if next.Equal(cur) {
+			break
+		}
+		xb, xa := cur.IsolatedRegionOf("xapian"), next.IsolatedRegionOf("xapian")
+		for _, r := range []machine.Resource{machine.Cores, machine.LLCWays, machine.MemBW} {
+			if xa.Amount(r) > xb.Amount(r) {
+				kinds[r] = true
+			}
+		}
+		cur = next
+	}
+	if len(kinds) < 2 {
+		t.Errorf("FSM moved only %d resource kinds: %v", len(kinds), kinds)
+	}
+}
+
+func TestIdleAppIsPreferredDonor(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+	// Drain the BE partition to floors first so the LC donor path runs.
+	for _, r := range []machine.Resource{machine.Cores, machine.LLCWays, machine.MemBW} {
+		g := cur.IsolatedRegionOf("stream")
+		x := cur.IsolatedRegionOf("xapian")
+		for g.Amount(r) > 1 {
+			g.SetAmount(r, g.Amount(r)-1)
+			x.SetAmount(r, x.Amount(r)+1)
+		}
+	}
+	// Moses idle (NaN p95, maximal slack) is the donor for violating
+	// xapian.
+	telIdle := sched.Telemetry{Apps: []sched.AppWindow{
+		{Spec: specs()[0], P95Ms: 9.0},
+		{Spec: specs()[1], P95Ms: math.NaN()},
+		{Spec: specs()[2], IPC: 0.3},
+	}}
+	next := s.Decide(telIdle, cur)
+	if next.Equal(cur) {
+		t.Fatal("no adjustment with an idle donor available")
+	}
+	mb, ma := cur.IsolatedRegionOf("moses"), next.IsolatedRegionOf("moses")
+	total := func(g *machine.Region) int { return g.Cores + g.Ways + g.BWUnits }
+	if total(ma) != total(mb)-1 {
+		t.Errorf("idle moses should donate: %d -> %d", total(mb), total(ma))
+	}
+}

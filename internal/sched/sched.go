@@ -1,0 +1,151 @@
+// Package sched defines the contract between the Ah-Q controller and a
+// resource-scheduling strategy: what a strategy can observe each monitoring
+// epoch (Telemetry) and what it returns (a machine.Allocation). Concrete
+// strategies live in the subpackages static (Unmanaged, LC-first), parties,
+// clite and arq.
+package sched
+
+import (
+	"math"
+
+	"ahq/internal/machine"
+	"ahq/internal/workload"
+)
+
+// AppSpec is the static, profiled description of one collocated application
+// that a strategy is given at initialisation: class, QoS target and ideal
+// tail latency for LC applications (both obtained offline, as in the paper),
+// solo IPC for BE applications.
+type AppSpec struct {
+	Name    string
+	Class   workload.Class
+	Threads int
+	// QoSTargetMs is M_i; LC only.
+	QoSTargetMs float64
+	// IdealP95Ms is TL_i0, profiled with ample resources; LC only.
+	IdealP95Ms float64
+	// MaxLoadQPS is the profiled maximum load; LC only.
+	MaxLoadQPS float64
+	// SoloIPC is the profiled solo IPC; BE only.
+	SoloIPC float64
+}
+
+// AppWindow is what the monitor observed for one application over one epoch.
+type AppWindow struct {
+	Spec AppSpec
+	// P95Ms is the epoch's p95 latency. When no request completed but the
+	// queue is non-empty it is the age of the oldest queued request (a
+	// lower bound); NaN only if the application was idle. LC only.
+	P95Ms float64
+	// MeanMs is the epoch's mean latency (NaN as above). LC only.
+	MeanMs float64
+	// Completed and Dropped count requests finished and rejected by
+	// client backpressure during the epoch. LC only.
+	Completed, Dropped int
+	// QueueLen is the backlog at the end of the epoch. LC only.
+	QueueLen int
+	// OfferedQPS is the observed arrival rate over the epoch. LC only.
+	OfferedQPS float64
+	// IPC is the epoch's achieved IPC. BE only.
+	IPC float64
+}
+
+// Violates reports whether an LC application's observed tail exceeded its
+// QoS target this epoch. A starved application (bounded-below latency)
+// counts as violating.
+func (w AppWindow) Violates() bool {
+	if w.Spec.Class != workload.LC {
+		return false
+	}
+	return !math.IsNaN(w.P95Ms) && w.P95Ms > w.Spec.QoSTargetMs
+}
+
+// Slack returns the PARTIES-style latency slack (target - p95)/target;
+// negative when violating, NaN when idle. LC only.
+func (w AppWindow) Slack() float64 {
+	if math.IsNaN(w.P95Ms) || w.Spec.QoSTargetMs <= 0 {
+		return math.NaN()
+	}
+	return (w.Spec.QoSTargetMs - w.P95Ms) / w.Spec.QoSTargetMs
+}
+
+// Telemetry is one epoch's complete observation, handed to Strategy.Decide.
+type Telemetry struct {
+	// TimeMs is the simulation time at the end of the epoch.
+	TimeMs float64
+	// Epoch counts monitoring intervals from zero.
+	Epoch int
+	// Apps holds one window per application, in controller order (LC
+	// applications first, then BE).
+	Apps []AppWindow
+	// ELC, EBE and ES are the epoch's entropy values, computed by the
+	// controller; strategies using entropy feedback (ARQ) read ES.
+	ELC, EBE, ES float64
+}
+
+// App returns the window for the named application, or nil.
+func (t *Telemetry) App(name string) *AppWindow {
+	for i := range t.Apps {
+		if t.Apps[i].Spec.Name == name {
+			return &t.Apps[i]
+		}
+	}
+	return nil
+}
+
+// LCApps returns the windows of the latency-critical applications.
+func (t *Telemetry) LCApps() []AppWindow {
+	var out []AppWindow
+	for _, w := range t.Apps {
+		if w.Spec.Class == workload.LC {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// BEApps returns the windows of the best-effort applications.
+func (t *Telemetry) BEApps() []AppWindow {
+	var out []AppWindow
+	for _, w := range t.Apps {
+		if w.Spec.Class == workload.BE {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Strategy is a resource-scheduling policy. The controller calls Init once
+// and Decide every monitoring epoch; Decide returns the allocation to apply
+// for the next epoch (returning the current allocation unchanged is a
+// no-op decision).
+type Strategy interface {
+	// Name identifies the strategy in results ("arq", "parties", ...).
+	Name() string
+	// Init returns the strategy's starting allocation.
+	Init(spec machine.Spec, apps []AppSpec) machine.Allocation
+	// Decide observes one epoch and returns the next allocation.
+	Decide(t Telemetry, current machine.Allocation) machine.Allocation
+}
+
+// LCNamesOf returns the names of the LC applications in specs, in order.
+func LCNamesOf(apps []AppSpec) []string {
+	var out []string
+	for _, a := range apps {
+		if a.Class == workload.LC {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// BENamesOf returns the names of the BE applications in specs, in order.
+func BENamesOf(apps []AppSpec) []string {
+	var out []string
+	for _, a := range apps {
+		if a.Class == workload.BE {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}

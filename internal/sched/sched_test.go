@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"ahq/internal/workload"
+)
+
+func lcWindow(name string, p95, target float64) AppWindow {
+	return AppWindow{
+		Spec:  AppSpec{Name: name, Class: workload.LC, QoSTargetMs: target, IdealP95Ms: target / 2},
+		P95Ms: p95,
+	}
+}
+
+func beWindow(name string, ipc, solo float64) AppWindow {
+	return AppWindow{
+		Spec: AppSpec{Name: name, Class: workload.BE, SoloIPC: solo},
+		IPC:  ipc,
+	}
+}
+
+func TestViolates(t *testing.T) {
+	if !lcWindow("x", 5, 4).Violates() {
+		t.Error("p95 > target should violate")
+	}
+	if lcWindow("x", 3, 4).Violates() {
+		t.Error("p95 < target should not violate")
+	}
+	if lcWindow("x", math.NaN(), 4).Violates() {
+		t.Error("idle app should not violate")
+	}
+	if beWindow("b", 1, 2).Violates() {
+		t.Error("BE apps never violate")
+	}
+}
+
+func TestSlack(t *testing.T) {
+	if got := lcWindow("x", 3, 4).Slack(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Slack = %g, want 0.25", got)
+	}
+	if got := lcWindow("x", 5, 4).Slack(); math.Abs(got+0.25) > 1e-12 {
+		t.Errorf("Slack = %g, want -0.25", got)
+	}
+	if !math.IsNaN(lcWindow("x", math.NaN(), 4).Slack()) {
+		t.Error("idle slack should be NaN")
+	}
+}
+
+func TestTelemetryAccessors(t *testing.T) {
+	tel := Telemetry{Apps: []AppWindow{
+		lcWindow("xapian", 3, 4),
+		lcWindow("moses", 5, 10),
+		beWindow("stream", 0.3, 0.6),
+	}}
+	if len(tel.LCApps()) != 2 || len(tel.BEApps()) != 1 {
+		t.Fatalf("class split wrong: %d LC, %d BE", len(tel.LCApps()), len(tel.BEApps()))
+	}
+	if w := tel.App("moses"); w == nil || w.P95Ms != 5 {
+		t.Errorf("App(moses) = %v", w)
+	}
+	if tel.App("ghost") != nil {
+		t.Error("App(ghost) should be nil")
+	}
+}
+
+func TestNamesOf(t *testing.T) {
+	specs := []AppSpec{
+		{Name: "a", Class: workload.LC},
+		{Name: "b", Class: workload.BE},
+		{Name: "c", Class: workload.LC},
+	}
+	lc := LCNamesOf(specs)
+	if len(lc) != 2 || lc[0] != "a" || lc[1] != "c" {
+		t.Errorf("LCNamesOf = %v", lc)
+	}
+	be := BENamesOf(specs)
+	if len(be) != 1 || be[0] != "b" {
+		t.Errorf("BENamesOf = %v", be)
+	}
+}

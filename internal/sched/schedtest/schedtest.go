@@ -1,0 +1,166 @@
+// Package schedtest provides a conformance harness that every scheduling
+// strategy must pass: whatever telemetry sequence it observes, each
+// allocation it returns must be valid for the node and application set,
+// and it must behave sanely on degenerate inputs (idle telemetry, LC-only
+// and BE-only mixes). Each strategy package runs the harness from its own
+// tests.
+package schedtest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+	"ahq/internal/workload"
+)
+
+// Factory builds a fresh strategy instance for each scenario.
+type Factory func() sched.Strategy
+
+// Run exercises the factory's strategy against the full conformance suite.
+func Run(t *testing.T, factory Factory) {
+	t.Helper()
+	t.Run("RandomTelemetry", func(t *testing.T) { randomTelemetry(t, factory) })
+	t.Run("IdleTelemetry", func(t *testing.T) { idleTelemetry(t, factory) })
+	t.Run("LCOnly", func(t *testing.T) { classSubset(t, factory, true) })
+	t.Run("BEOnly", func(t *testing.T) { classSubset(t, factory, false) })
+	t.Run("TinyNode", func(t *testing.T) { tinyNode(t, factory) })
+}
+
+func standardSpecs() []sched.AppSpec {
+	return []sched.AppSpec{
+		{Name: "xapian", Class: workload.LC, Threads: 4, QoSTargetMs: 4.22, IdealP95Ms: 2.77},
+		{Name: "moses", Class: workload.LC, Threads: 4, QoSTargetMs: 10.53, IdealP95Ms: 2.80},
+		{Name: "img-dnn", Class: workload.LC, Threads: 4, QoSTargetMs: 3.98, IdealP95Ms: 1.41},
+		{Name: "stream", Class: workload.BE, Threads: 10, SoloIPC: 0.6},
+	}
+}
+
+func names(specs []sched.AppSpec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// synthTelemetry builds plausible random telemetry for the specs.
+func synthTelemetry(rng *rand.Rand, specs []sched.AppSpec, epoch int) sched.Telemetry {
+	tel := sched.Telemetry{
+		TimeMs: float64(epoch) * 500,
+		Epoch:  epoch,
+	}
+	for _, s := range specs {
+		w := sched.AppWindow{Spec: s}
+		if s.Class == workload.LC {
+			// Latency between half the ideal and 5x the target, with an
+			// occasional idle window.
+			switch rng.Intn(10) {
+			case 0:
+				w.P95Ms = math.NaN()
+			default:
+				w.P95Ms = s.IdealP95Ms/2 + rng.Float64()*5*s.QoSTargetMs
+				w.Completed = 1 + rng.Intn(500)
+			}
+			w.QueueLen = rng.Intn(64)
+		} else {
+			w.IPC = rng.Float64() * s.SoloIPC
+		}
+		tel.Apps = append(tel.Apps, w)
+	}
+	tel.ELC = rng.Float64()
+	tel.EBE = rng.Float64()
+	tel.ES = 0.8*tel.ELC + 0.2*tel.EBE
+	return tel
+}
+
+// randomTelemetry drives 300 epochs of arbitrary observations and checks
+// every returned allocation.
+func randomTelemetry(t *testing.T, factory Factory) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := factory()
+		spec := machine.DefaultSpec()
+		specs := standardSpecs()
+		cur := s.Init(spec, specs)
+		if err := cur.Validate(spec, names(specs)); err != nil {
+			t.Fatalf("seed %d: Init invalid: %v\n%s", seed, err, cur)
+		}
+		for epoch := 0; epoch < 300; epoch++ {
+			next := s.Decide(synthTelemetry(rng, specs, epoch), cur)
+			if err := next.Validate(spec, names(specs)); err != nil {
+				t.Fatalf("seed %d epoch %d: Decide invalid: %v\n%s", seed, epoch, err, next)
+			}
+			cur = next
+		}
+	}
+}
+
+// idleTelemetry: a strategy must not crash or produce invalid allocations
+// when nothing has run yet.
+func idleTelemetry(t *testing.T, factory Factory) {
+	s := factory()
+	spec := machine.DefaultSpec()
+	specs := standardSpecs()
+	cur := s.Init(spec, specs)
+	idle := sched.Telemetry{Apps: make([]sched.AppWindow, len(specs))}
+	for i, sp := range specs {
+		idle.Apps[i] = sched.AppWindow{Spec: sp, P95Ms: math.NaN()}
+	}
+	idle.ELC, idle.EBE, idle.ES = math.NaN(), math.NaN(), math.NaN()
+	for epoch := 0; epoch < 10; epoch++ {
+		idle.Epoch = epoch
+		idle.TimeMs = float64(epoch) * 500
+		next := s.Decide(idle, cur)
+		if err := next.Validate(spec, names(specs)); err != nil {
+			t.Fatalf("epoch %d: %v\n%s", epoch, err, next)
+		}
+		cur = next
+	}
+}
+
+// classSubset runs with only one application class present.
+func classSubset(t *testing.T, factory Factory, lcOnly bool) {
+	var specs []sched.AppSpec
+	for _, s := range standardSpecs() {
+		if (s.Class == workload.LC) == lcOnly {
+			specs = append(specs, s)
+		}
+	}
+	s := factory()
+	spec := machine.DefaultSpec()
+	cur := s.Init(spec, specs)
+	if err := cur.Validate(spec, names(specs)); err != nil {
+		t.Fatalf("Init invalid: %v\n%s", err, cur)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for epoch := 0; epoch < 60; epoch++ {
+		next := s.Decide(synthTelemetry(rng, specs, epoch), cur)
+		if err := next.Validate(spec, names(specs)); err != nil {
+			t.Fatalf("epoch %d: %v\n%s", epoch, err, next)
+		}
+		cur = next
+	}
+}
+
+// tinyNode uses the smallest legal node: strategies must respect floors.
+func tinyNode(t *testing.T, factory Factory) {
+	spec := machine.Spec{Cores: 2, LLCWays: 2, MemBWUnits: 2, MemBWGBps: 8}
+	specs := standardSpecs()[:2] // two LC apps... plus stream keeps BE paths alive
+	specs = append(specs, standardSpecs()[3])
+	s := factory()
+	cur := s.Init(spec, specs)
+	if err := cur.Validate(spec, names(specs)); err != nil {
+		t.Fatalf("Init invalid on tiny node: %v\n%s", err, cur)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for epoch := 0; epoch < 100; epoch++ {
+		next := s.Decide(synthTelemetry(rng, specs, epoch), cur)
+		if err := next.Validate(spec, names(specs)); err != nil {
+			t.Fatalf("epoch %d: %v\n%s", epoch, err, next)
+		}
+		cur = next
+	}
+}

@@ -1,0 +1,16 @@
+package static
+
+import (
+	"testing"
+
+	"ahq/internal/sched"
+	"ahq/internal/sched/schedtest"
+)
+
+func TestConformanceUnmanaged(t *testing.T) {
+	schedtest.Run(t, func() sched.Strategy { return Unmanaged{} })
+}
+
+func TestConformanceLCFirst(t *testing.T) {
+	schedtest.Run(t, func() sched.Strategy { return LCFirst{} })
+}

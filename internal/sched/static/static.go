@@ -1,0 +1,79 @@
+// Package static provides the non-adaptive baseline strategies of the
+// paper's evaluation: Unmanaged (the OS default — everything shared under
+// CFS, no isolation), LC-first (real-time priority for LC applications,
+// still no partitioning), and Fixed (a hand-built allocation held for the
+// whole run, used by the Fig. 1 motivating example).
+package static
+
+import (
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+)
+
+// Unmanaged is the Linux-CFS baseline: one fair-share region holding the
+// whole node, never adjusted.
+type Unmanaged struct{}
+
+// Name implements sched.Strategy.
+func (Unmanaged) Name() string { return "unmanaged" }
+
+// Init implements sched.Strategy.
+func (Unmanaged) Init(spec machine.Spec, apps []sched.AppSpec) machine.Allocation {
+	return machine.AllShared(spec, machine.FairShare, names(apps))
+}
+
+// Decide implements sched.Strategy: never adjusts.
+func (Unmanaged) Decide(_ sched.Telemetry, current machine.Allocation) machine.Allocation {
+	return current
+}
+
+// LCFirst is the real-time-priority baseline: one shared region holding the
+// whole node where LC threads preempt BE threads, never adjusted.
+type LCFirst struct{}
+
+// Name implements sched.Strategy.
+func (LCFirst) Name() string { return "lc-first" }
+
+// Init implements sched.Strategy.
+func (LCFirst) Init(spec machine.Spec, apps []sched.AppSpec) machine.Allocation {
+	return machine.AllShared(spec, machine.LCPriority, names(apps))
+}
+
+// Decide implements sched.Strategy: never adjusts.
+func (LCFirst) Decide(_ sched.Telemetry, current machine.Allocation) machine.Allocation {
+	return current
+}
+
+// Fixed holds an arbitrary allocation for the whole run.
+type Fixed struct {
+	// Label names the strategy in results (e.g. "strategy-A").
+	Label string
+	// Alloc is the allocation to hold.
+	Alloc machine.Allocation
+}
+
+// Name implements sched.Strategy.
+func (f Fixed) Name() string {
+	if f.Label == "" {
+		return "fixed"
+	}
+	return f.Label
+}
+
+// Init implements sched.Strategy.
+func (f Fixed) Init(machine.Spec, []sched.AppSpec) machine.Allocation {
+	return f.Alloc.Clone()
+}
+
+// Decide implements sched.Strategy: never adjusts.
+func (f Fixed) Decide(_ sched.Telemetry, current machine.Allocation) machine.Allocation {
+	return current
+}
+
+func names(apps []sched.AppSpec) []string {
+	out := make([]string, len(apps))
+	for i, a := range apps {
+		out[i] = a.Name
+	}
+	return out
+}

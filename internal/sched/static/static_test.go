@@ -1,0 +1,69 @@
+package static
+
+import (
+	"testing"
+
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+	"ahq/internal/workload"
+)
+
+func specs() []sched.AppSpec {
+	return []sched.AppSpec{
+		{Name: "xapian", Class: workload.LC, QoSTargetMs: 4.22, IdealP95Ms: 2.77},
+		{Name: "stream", Class: workload.BE, SoloIPC: 0.6},
+	}
+}
+
+func TestUnmanaged(t *testing.T) {
+	s := Unmanaged{}
+	if s.Name() != "unmanaged" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	alloc := s.Init(machine.DefaultSpec(), specs())
+	if err := alloc.Validate(machine.DefaultSpec(), []string{"xapian", "stream"}); err != nil {
+		t.Fatal(err)
+	}
+	g := alloc.SharedRegion()
+	if g == nil || g.Policy != machine.FairShare {
+		t.Fatalf("Unmanaged region = %+v, want fair-share shared", g)
+	}
+	next := s.Decide(sched.Telemetry{}, alloc)
+	if !next.Equal(alloc) {
+		t.Error("Unmanaged adjusted")
+	}
+}
+
+func TestLCFirst(t *testing.T) {
+	s := LCFirst{}
+	alloc := s.Init(machine.DefaultSpec(), specs())
+	g := alloc.SharedRegion()
+	if g == nil || g.Policy != machine.LCPriority {
+		t.Fatalf("LCFirst region = %+v, want lc-priority shared", g)
+	}
+	next := s.Decide(sched.Telemetry{}, alloc)
+	if !next.Equal(alloc) {
+		t.Error("LCFirst adjusted")
+	}
+}
+
+func TestFixed(t *testing.T) {
+	want := machine.AllShared(machine.DefaultSpec(), machine.LCPriority, []string{"xapian", "stream"})
+	s := Fixed{Label: "strategy-A", Alloc: want}
+	if s.Name() != "strategy-A" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if (Fixed{}).Name() != "fixed" {
+		t.Error("default label wrong")
+	}
+	got := s.Init(machine.DefaultSpec(), specs())
+	if !got.Equal(want) {
+		t.Error("Init does not return the configured allocation")
+	}
+	// Init must clone: mutating the returned allocation must not leak
+	// into subsequent Inits.
+	got.Regions[0].Cores = 1
+	if s.Init(machine.DefaultSpec(), specs()).Regions[0].Cores == 1 {
+		t.Error("Fixed.Init aliases its allocation")
+	}
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"ahq/internal/metrics"
+	"ahq/internal/trace"
+	"ahq/internal/workload"
+)
+
+// AppConfig attaches a workload model to the simulated node. Exactly one of
+// LC or BE must be set; Load drives an LC application's offered load and is
+// ignored for BE applications.
+//
+// Setting ClosedLoopUsers switches the LC application from the default
+// open-loop Poisson source to Tailbench's closed-loop mode: that many
+// emulated users each issue one request, wait for its completion, think
+// for an exponential time with mean ThinkTimeMs, and repeat. Load is
+// ignored in closed-loop mode.
+type AppConfig struct {
+	LC   *workload.LCApp
+	BE   *workload.BEApp
+	Load trace.Load
+	// ClosedLoopUsers enables closed-loop load with that many users.
+	ClosedLoopUsers int
+	// ThinkTimeMs is the closed-loop mean think time (0 means 10x the
+	// service mean, a moderate per-user duty cycle).
+	ThinkTimeMs float64
+}
+
+// Name returns the configured application's name.
+func (c AppConfig) Name() string {
+	if c.LC != nil {
+		return c.LC.Name
+	}
+	if c.BE != nil {
+		return c.BE.Name
+	}
+	return ""
+}
+
+// Class returns the configured application's class.
+func (c AppConfig) Class() workload.Class {
+	if c.LC != nil {
+		return workload.LC
+	}
+	return workload.BE
+}
+
+// request is one in-flight LC request.
+type request struct {
+	arrivalMs float64
+	remainMs  float64 // outstanding service demand at solo speed
+	notBefore float64 // earliest dispatch time (CFS wakeup delay)
+	user      int     // closed-loop user index, or -1 for open loop
+}
+
+// appState is the runtime state of one application inside the engine.
+type appState struct {
+	cfg   AppConfig
+	name  string
+	class workload.Class
+	rng   *rand.Rand
+
+	// LC state.
+	queue   []request
+	offered int // arrivals this window, including drops
+	latWin  metrics.LatencyWindow
+	// nextIssue holds each closed-loop user's next request time (empty
+	// in open-loop mode).
+	nextIssue []float64
+	// runLat accumulates latencies across windows for run-level
+	// percentiles (reset by Engine.ResetRunStats).
+	runLat []float64
+
+	// BE state.
+	workWin metrics.WorkWindow
+	// runWork and runMs accumulate BE work across windows.
+	runWork float64
+	runMs   float64
+
+	// Per-tick contention scratch, recomputed by the engine.
+	activeThreads  int
+	isoCores       int
+	isoShare       float64 // per-thread share on isolated cores (0 or 1)
+	sharedThreads  int
+	sharedShare    float64 // per-thread share in shared regions
+	sharedCrowded  bool    // region timeshared at all
+	sharedPolluted bool    // region timeshared with foreign threads
+	totalCoreShare float64 // sum of all thread shares this tick
+	isoWays        float64
+	effWays        float64
+	slowdown       float64
+	dispatchDelay  float64 // CFS wakeup delay applied to new arrivals
+
+	// Warm-up tracking after repartitioning.
+	lastWays       float64
+	warmupUntilMs  float64
+	warmupStartMs  float64
+	haveAllocation bool
+
+	// Reusable per-tick service-slot scratch (see Engine.progress).
+	slotClock []float64
+	slotRate  []float64
+}
+
+func newAppState(cfg AppConfig, seed int64) *appState {
+	return &appState{
+		cfg:   cfg,
+		name:  cfg.Name(),
+		class: cfg.Class(),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// threads returns the application's worker/compute thread count.
+func (a *appState) threads() int {
+	if a.cfg.LC != nil {
+		return a.cfg.LC.Threads
+	}
+	return a.cfg.BE.Threads
+}
+
+// cache returns the application's miss-ratio curve.
+func (a *appState) cache() workload.CacheProfile {
+	if a.cfg.LC != nil {
+		return a.cfg.LC.Cache
+	}
+	return a.cfg.BE.Cache
+}
+
+// sens returns the application's sensitivity parameters.
+func (a *appState) sens() workload.Sensitivity {
+	if a.cfg.LC != nil {
+		return a.cfg.LC.Sens
+	}
+	return a.cfg.BE.Sens
+}
+
+// runnableThreads returns how many threads want a core this tick.
+func (a *appState) runnableThreads() int {
+	if a.class == workload.BE {
+		return a.threads()
+	}
+	n := len(a.queue)
+	if t := a.threads(); n > t {
+		n = t
+	}
+	return n
+}
+
+// sampleService draws one request's service demand (solo-speed core-ms):
+// a log-normal base multiplied by the Zipfian content factor when the
+// application has a term mix.
+func (a *appState) sampleService() float64 {
+	lc := a.cfg.LC
+	demand := lc.ServiceMeanMs
+	if lc.ServiceSigma > 0 {
+		demand = math.Exp(lc.ServiceMu() + lc.ServiceSigma*a.rng.NormFloat64())
+	}
+	if lc.Terms != nil {
+		demand *= lc.Terms.Sample(a.rng)
+	}
+	return demand
+}
+
+// thinkMean returns the closed-loop mean think time.
+func (a *appState) thinkMean() float64 {
+	if a.cfg.ThinkTimeMs > 0 {
+		return a.cfg.ThinkTimeMs
+	}
+	return 10 * a.cfg.LC.ServiceMeanMs
+}
+
+// arrive admits arrivals for the tick [now, now+dt). In open-loop mode the
+// count is Poisson with the trace's current rate, and arrivals beyond the
+// client queue cap are dropped (finite connection pool backpressure). In
+// closed-loop mode each emulated user whose think time has elapsed issues
+// its next request.
+func (a *appState) arrive(nowMs, dtMs float64) {
+	lc := a.cfg.LC
+	if lc == nil {
+		return
+	}
+	if a.cfg.ClosedLoopUsers > 0 {
+		if a.nextIssue == nil {
+			a.nextIssue = make([]float64, a.cfg.ClosedLoopUsers)
+			for u := range a.nextIssue {
+				// Stagger the first round across one think period.
+				a.nextIssue[u] = a.rng.Float64() * a.thinkMean()
+			}
+		}
+		for u, t := range a.nextIssue {
+			if t < nowMs+dtMs && t >= 0 {
+				a.offered++
+				at := t
+				if at < nowMs {
+					at = nowMs
+				}
+				a.queue = append(a.queue, request{
+					arrivalMs: at,
+					remainMs:  a.sampleService(),
+					notBefore: at + a.dispatchDelay*a.rng.Float64(),
+					user:      u,
+				})
+				a.nextIssue[u] = -1 // outstanding; rescheduled on completion
+			}
+		}
+		return
+	}
+	if a.cfg.Load == nil {
+		return
+	}
+	frac := a.cfg.Load.At(nowMs)
+	if frac <= 0 {
+		return
+	}
+	lambda := frac * lc.MaxLoadQPS / 1000 * dtMs // expected arrivals this tick
+	n := poisson(a.rng, lambda)
+	if n == 0 {
+		return
+	}
+	a.offered += n
+	for i := 0; i < n; i++ {
+		if len(a.queue) >= lc.ClientQueueCap {
+			a.latWin.Drop()
+			continue
+		}
+		at := nowMs + a.rng.Float64()*dtMs
+		a.queue = append(a.queue, request{
+			arrivalMs: at,
+			remainMs:  a.sampleService(),
+			notBefore: at + a.dispatchDelay*a.rng.Float64(),
+			user:      -1,
+		})
+	}
+}
+
+// oldestAgeMs returns the age of the head-of-line request, or NaN if idle.
+func (a *appState) oldestAgeMs(nowMs float64) float64 {
+	if len(a.queue) == 0 {
+		return math.NaN()
+	}
+	return nowMs - a.queue[0].arrivalMs
+}
+
+// poisson draws a Poisson variate. Tick-level means here are small (a few
+// arrivals per ms at most), so Knuth's method with a normal fallback for
+// large means is plenty.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 64 {
+		// Normal approximation with continuity correction.
+		n := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

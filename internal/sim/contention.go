@@ -1,0 +1,390 @@
+package sim
+
+import (
+	"math"
+
+	"ahq/internal/machine"
+	"ahq/internal/workload"
+)
+
+// resolveCores distributes core time for the current tick. Threads first
+// fill their application's isolated cores one-to-one; the remainder spill
+// into the application's shared region, where capacity is divided per
+// thread — equally under FairShare (CFS) or latency-critical-first under
+// LCPriority (real-time priority / the ARQ shared region).
+func (e *Engine) resolveCores() {
+	for _, a := range e.apps {
+		a.activeThreads = a.runnableThreads()
+		a.isoCores = 0
+		a.isoShare = 0
+		a.sharedThreads = 0
+		a.sharedShare = 0
+		a.sharedCrowded = false
+		a.sharedPolluted = false
+		a.dispatchDelay = 0
+		if g := e.alloc.IsolatedRegionOf(a.name); g != nil {
+			a.isoCores = g.Cores
+		}
+		used := a.activeThreads
+		if used > a.isoCores {
+			used = a.isoCores
+		}
+		if used > 0 {
+			a.isoShare = 1
+		}
+		a.sharedThreads = a.activeThreads - used
+	}
+
+	for gi := range e.alloc.Regions {
+		g := &e.alloc.Regions[gi]
+		if g.Kind != machine.Shared {
+			continue
+		}
+		members := e.scratchMembers[:0]
+		lcThreads, beThreads, appsPresent := 0, 0, 0
+		for _, a := range e.apps {
+			if !g.Has(a.name) || a.sharedThreads == 0 {
+				continue
+			}
+			members = append(members, a)
+			appsPresent++
+			if a.class == workload.LC {
+				lcThreads += a.sharedThreads
+			} else {
+				beThreads += a.sharedThreads
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		total := lcThreads + beThreads
+		capacity := float64(g.Cores)
+		crowded := float64(total) > capacity
+		polluted := crowded && appsPresent > 1
+
+		var lcShare, beShare float64
+		switch {
+		case g.Policy == machine.LCPriority && lcThreads > 0:
+			// Strict real-time priority: LC threads first, BE threads
+			// split whatever is left.
+			lcShare = math.Min(1, capacity/float64(lcThreads))
+			rest := capacity - lcShare*float64(lcThreads)
+			if beThreads > 0 && rest > 0 {
+				beShare = math.Min(1, rest/float64(beThreads))
+			}
+		case lcThreads > 0:
+			// CFS with sleeper fairness: waking LC threads preempt batch
+			// work promptly, so each batch thread exerts only BatchDrag
+			// of a fair-share slot against LC; BE absorbs the leftover.
+			drag := float64(lcThreads) + e.tun.BatchDrag*float64(beThreads)
+			lcShare = math.Min(1, capacity/drag)
+			rest := capacity - lcShare*float64(lcThreads)
+			if beThreads > 0 && rest > 0 {
+				beShare = math.Min(1, rest/float64(beThreads))
+			}
+		case beThreads > 0:
+			beShare = math.Min(1, capacity/float64(beThreads))
+		}
+		// CFS wakeup-to-dispatch delay for LC work in a crowded fair
+		// region; LC-priority regions dispatch LC work immediately.
+		dispatch := 0.0
+		if g.Policy == machine.FairShare && crowded {
+			over := (float64(total) - capacity) / capacity
+			dispatch = e.tun.TimesliceMs * over * over
+			if dispatch > e.tun.DispatchDelayCapMs {
+				dispatch = e.tun.DispatchDelayCapMs
+			}
+		}
+		for _, a := range members {
+			if a.class == workload.LC {
+				a.sharedShare = lcShare
+				a.dispatchDelay = dispatch
+			} else {
+				a.sharedShare = beShare
+			}
+			a.sharedCrowded = crowded
+			a.sharedPolluted = polluted
+		}
+		e.scratchMembers = members[:0]
+	}
+
+	// Apply timesharing overheads to the shared-region share and total up
+	// each application's core time for bandwidth accounting.
+	for _, a := range e.apps {
+		if a.sharedCrowded && a.sharedShare > 0 {
+			penalty := e.tun.SwitchOverhead
+			if a.sharedPolluted {
+				penalty += e.tun.PollutionOverhead
+			}
+			a.sharedShare *= 1 - penalty
+		}
+		isoUsed := a.activeThreads
+		if isoUsed > a.isoCores {
+			isoUsed = a.isoCores
+		}
+		a.totalCoreShare = float64(isoUsed)*a.isoShare + float64(a.sharedThreads)*a.sharedShare
+	}
+}
+
+// resolveCache computes each application's effective LLC ways: its isolated
+// ways plus a share of every shared region it belongs to (the CLOS mask
+// union of the ARQ design).
+//
+// Shared ways are divided by *insertion pressure*, the LRU steady state:
+// an application fills cache in proportion to the miss traffic it generates,
+// which itself depends on how much cache it holds. The fixed point of
+//
+//	w_i = W * p_i / sum(p),  p_i = threads_i * gbps_i * miss_i(w_i + iso_i)
+//
+// captures the crucial asymmetry of the paper's Fig. 8 vs Fig. 9: an
+// application whose working set fits (Fluidanimate) stops missing and stops
+// evicting others, while a streaming application (STREAM) never stops
+// inserting and floods any cache it can touch.
+func (e *Engine) resolveCache() {
+	for _, a := range e.apps {
+		a.isoWays = 0
+		if g := e.alloc.IsolatedRegionOf(a.name); g != nil {
+			a.isoWays = float64(g.Ways)
+		}
+		a.effWays = a.isoWays
+	}
+	for gi := range e.alloc.Regions {
+		g := &e.alloc.Regions[gi]
+		if g.Kind != machine.Shared || g.Ways == 0 {
+			continue
+		}
+		members := e.scratchMembers[:0]
+		for _, a := range e.apps {
+			if g.Has(a.name) && a.activeThreads > 0 {
+				members = append(members, a)
+			}
+		}
+		e.scratchMembers = members
+		if len(members) == 0 {
+			continue
+		}
+		w := float64(g.Ways)
+		// Warm-start from an even split and iterate the pressure fixed
+		// point; three rounds are plenty at this granularity.
+		share := growScratch(&e.scratchShare, len(members))
+		pressure := growScratch(&e.scratchPressure, len(members))
+		for i := range share {
+			share[i] = w / float64(len(members))
+		}
+		for iter := 0; iter < 3; iter++ {
+			total := 0.0
+			for i, a := range members {
+				miss := a.cache().MissRatio(a.isoWays + share[i])
+				p := float64(a.activeThreads) * a.sens().MemGBpsPerThread * miss
+				if p < 1e-9 {
+					p = 1e-9
+				}
+				pressure[i] = p
+				total += p
+			}
+			for i := range members {
+				share[i] = w * pressure[i] / total
+			}
+		}
+		for i, a := range members {
+			a.effWays += share[i]
+		}
+	}
+}
+
+// missRatio returns the application's miss ratio at its current effective
+// ways, including the transient warm-up penalty after repartitioning.
+func (e *Engine) missRatio(a *appState) float64 {
+	m := a.cache().MissRatio(a.effWays)
+	if e.nowMs < a.warmupUntilMs {
+		frac := (a.warmupUntilMs - e.nowMs) / e.tun.WarmupMs
+		m += e.tun.WarmupMissBoost * frac
+	}
+	if m > 1 {
+		m = 1
+	}
+	return m
+}
+
+// resolveMemBW grants memory bandwidth (isolated MBA units first, then the
+// shared pool divided proportionally to residual demand) and combines the
+// cache and bandwidth effects into each application's service slowdown,
+// normalised so the solo full-resource configuration is 1.
+func (e *Engine) resolveMemBW() {
+	unitGBps := e.spec.MemBWGBps / float64(e.spec.MemBWUnits)
+
+	reqs := growScratchReq(&e.scratchReqs, len(e.apps))
+	miss := growScratch(&e.scratchMiss, len(e.apps))
+	for i, a := range e.apps {
+		miss[i] = e.missRatio(a)
+		demand := a.sens().MemGBpsPerThread * miss[i] * a.totalCoreShare
+		isoBW := 0.0
+		if g := e.alloc.IsolatedRegionOf(a.name); g != nil {
+			isoBW = float64(g.BWUnits) * unitGBps
+		}
+		granted := math.Min(demand, isoBW)
+		reqs[i] = bwReq{app: a, demand: demand, spill: demand - granted, grant: granted}
+	}
+
+	for gi := range e.alloc.Regions {
+		g := &e.alloc.Regions[gi]
+		if g.Kind != machine.Shared || g.BWUnits == 0 {
+			continue
+		}
+		pool := float64(g.BWUnits) * unitGBps
+		totalSpill := 0.0
+		for i := range reqs {
+			if g.Has(reqs[i].app.name) {
+				totalSpill += reqs[i].spill
+			}
+		}
+		if totalSpill <= 0 {
+			continue
+		}
+		frac := math.Min(1, pool/totalSpill)
+		for i := range reqs {
+			if g.Has(reqs[i].app.name) {
+				reqs[i].grant += reqs[i].spill * frac
+				reqs[i].spill = 0
+			}
+		}
+	}
+
+	for i, a := range e.apps {
+		sens := a.sens()
+		sat := 1.0
+		if reqs[i].demand > 0 {
+			sat = reqs[i].grant / reqs[i].demand
+		}
+		if sat < e.tun.MinBWSatisfaction {
+			sat = e.tun.MinBWSatisfaction
+		}
+		memFactor := 1 + sens.MemSens*(1/sat-1)
+		refMiss := a.cache().MissRatio(e.tun.RefWays)
+		cacheFactor := (1 + sens.CacheSens*miss[i]) / (1 + sens.CacheSens*refMiss)
+		a.slowdown = cacheFactor * memFactor
+	}
+}
+
+// bwReq tracks one application's bandwidth demand resolution for a tick.
+type bwReq struct {
+	app    *appState
+	demand float64
+	spill  float64
+	grant  float64
+}
+
+// growScratch returns a zeroed float scratch slice of length n, reusing the
+// backing array across ticks.
+func growScratch(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	s := (*buf)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// growScratchReq is growScratch for bandwidth requests.
+func growScratchReq(buf *[]bwReq, n int) []bwReq {
+	if cap(*buf) < n {
+		*buf = make([]bwReq, n)
+	}
+	s := (*buf)[:n]
+	for i := range s {
+		s[i] = bwReq{}
+	}
+	return s
+}
+
+// progress advances every in-service request and accumulates best-effort
+// work for the tick. LC requests are served by worker-thread "slots": each
+// slot is a sequential server with its own wall clock, so a slot that
+// finishes a short request picks up the next queued one within the same
+// tick (the simulator's throughput is not quantised by the tick), mid-tick
+// arrivals only receive service after they arrive, and a request never runs
+// on more than one core at a time.
+func (e *Engine) progress(dt float64) {
+	tickEnd := e.nowMs + dt
+	for _, a := range e.apps {
+		if a.class == workload.BE {
+			if a.totalCoreShare > 0 && a.slowdown > 0 {
+				work := a.totalCoreShare * dt / a.slowdown
+				a.workWin.Add(work)
+				a.runWork += work
+			}
+			a.runMs += dt
+			continue
+		}
+		if len(a.queue) == 0 {
+			continue
+		}
+		nSlots := a.threads()
+		if cap(a.slotClock) < nSlots {
+			a.slotClock = make([]float64, nSlots)
+			a.slotRate = make([]float64, nSlots)
+		}
+		clocks := a.slotClock[:nSlots]
+		rates := a.slotRate[:nSlots]
+		isoSlots := a.isoCores
+		if isoSlots > nSlots {
+			isoSlots = nSlots
+		}
+		for i := 0; i < nSlots; i++ {
+			clocks[i] = e.nowMs
+			speed := a.sharedShare
+			if i < isoSlots {
+				speed = 1
+			}
+			rates[i] = speed / a.slowdown // work per wall-clock ms
+		}
+
+		kept := a.queue[:0]
+		for _, req := range a.queue {
+			// Earliest-available slot with a usable rate.
+			slot := -1
+			for i := 0; i < nSlots; i++ {
+				if rates[i] <= 0 {
+					continue
+				}
+				if slot == -1 || clocks[i] < clocks[slot] {
+					slot = i
+				}
+			}
+			if slot == -1 {
+				kept = append(kept, req)
+				continue
+			}
+			start := clocks[slot]
+			if req.arrivalMs > start {
+				start = req.arrivalMs
+			}
+			if req.notBefore > start {
+				start = req.notBefore
+			}
+			if start >= tickEnd {
+				kept = append(kept, req)
+				continue
+			}
+			can := (tickEnd - start) * rates[slot]
+			if req.remainMs <= can {
+				done := start + req.remainMs/rates[slot]
+				clocks[slot] = done
+				lat := done - req.arrivalMs
+				a.latWin.Observe(lat)
+				a.runLat = append(a.runLat, lat)
+				if req.user >= 0 && req.user < len(a.nextIssue) {
+					// Closed loop: the user thinks, then reissues.
+					a.nextIssue[req.user] = done + a.rng.ExpFloat64()*a.thinkMean()
+				}
+				continue
+			}
+			req.remainMs -= can
+			clocks[slot] = tickEnd
+			kept = append(kept, req)
+		}
+		a.queue = kept
+	}
+}

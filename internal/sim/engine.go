@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"ahq/internal/machine"
+	"ahq/internal/metrics"
+	"ahq/internal/sched"
+	"ahq/internal/workload"
+)
+
+// Config describes one simulation.
+type Config struct {
+	// Spec is the node being simulated.
+	Spec machine.Spec
+	// Seed makes the run reproducible; every application derives its own
+	// deterministic stream from it.
+	Seed int64
+	// TickMs is the simulation step; 0 means 1 ms.
+	TickMs float64
+	// Tunables are the contention-model constants; zero value means
+	// DefaultTunables.
+	Tunables Tunables
+	// Apps are the collocated applications.
+	Apps []AppConfig
+}
+
+// Engine simulates the node. It is not safe for concurrent use.
+type Engine struct {
+	spec  machine.Spec
+	tun   Tunables
+	tick  float64
+	nowMs float64
+	apps  []*appState
+	byIdx map[string]int
+	alloc machine.Allocation
+
+	// Reusable per-tick scratch for the contention resolvers.
+	scratchMembers  []*appState
+	scratchShare    []float64
+	scratchPressure []float64
+	scratchMiss     []float64
+	scratchReqs     []bwReq
+
+	// windowMs tracks the length of the window being accumulated, for
+	// offered-rate and IPC normalisation.
+	windowStartMs float64
+}
+
+// New validates the configuration and builds an engine. The engine starts
+// with an Unmanaged allocation (everything shared, CFS policy) until a
+// strategy installs its own.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("sim: no applications configured")
+	}
+	tick := cfg.TickMs
+	if tick <= 0 {
+		tick = 1
+	}
+	tun := cfg.Tunables
+	if tun == (Tunables{}) {
+		tun = DefaultTunables()
+	}
+	e := &Engine{
+		spec:  cfg.Spec,
+		tun:   tun,
+		tick:  tick,
+		byIdx: make(map[string]int, len(cfg.Apps)),
+	}
+	for i, ac := range cfg.Apps {
+		if (ac.LC == nil) == (ac.BE == nil) {
+			return nil, fmt.Errorf("sim: app %d must set exactly one of LC or BE", i)
+		}
+		if ac.LC != nil {
+			if err := ac.LC.Validate(); err != nil {
+				return nil, err
+			}
+			if ac.Load == nil && ac.ClosedLoopUsers <= 0 {
+				return nil, fmt.Errorf("sim: LC app %q has neither a load trace nor closed-loop users", ac.LC.Name)
+			}
+			if ac.ClosedLoopUsers < 0 || ac.ThinkTimeMs < 0 {
+				return nil, fmt.Errorf("sim: LC app %q has negative closed-loop parameters", ac.LC.Name)
+			}
+		} else if err := ac.BE.Validate(); err != nil {
+			return nil, err
+		}
+		name := ac.Name()
+		if _, dup := e.byIdx[name]; dup {
+			return nil, fmt.Errorf("sim: duplicate app name %q", name)
+		}
+		e.byIdx[name] = i
+		e.apps = append(e.apps, newAppState(ac, cfg.Seed+int64(i+1)*0x9E3779B97F4A7C))
+	}
+	if err := e.SetAllocation(machine.AllShared(cfg.Spec, machine.FairShare, e.AppNames())); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// AppNames returns the configured application names in order.
+func (e *Engine) AppNames() []string {
+	names := make([]string, len(e.apps))
+	for i, a := range e.apps {
+		names[i] = a.name
+	}
+	return names
+}
+
+// Spec returns the node spec being simulated.
+func (e *Engine) Spec() machine.Spec { return e.spec }
+
+// NowMs returns the current simulation time.
+func (e *Engine) NowMs() float64 { return e.nowMs }
+
+// Allocation returns (a copy of) the allocation currently applied.
+func (e *Engine) Allocation() machine.Allocation { return e.alloc.Clone() }
+
+// SetAllocation validates and applies a new partitioning, triggering cache
+// warm-up for every application whose effective way entitlement changed.
+// Applying an allocation equal to the current one is free.
+func (e *Engine) SetAllocation(a machine.Allocation) error {
+	if err := a.Validate(e.spec, e.AppNames()); err != nil {
+		return err
+	}
+	for _, app := range e.apps {
+		nshared := 0
+		for _, g := range a.Regions {
+			if g.Kind == machine.Shared && g.Has(app.name) {
+				nshared++
+			}
+		}
+		if nshared > 1 {
+			return fmt.Errorf("sim: app %q is in %d shared regions, max 1", app.name, nshared)
+		}
+	}
+	if e.alloc.Equal(a) {
+		return nil
+	}
+	e.alloc = a.Clone()
+	// Trigger warm-up where the way entitlement changed. Entitlement here
+	// is the static upper bound (isolated + full shared), which changes
+	// exactly when the partitioning moved ways around this application.
+	for _, app := range e.apps {
+		entitled := 0.0
+		for _, g := range e.alloc.Regions {
+			if g.Has(app.name) {
+				entitled += float64(g.Ways)
+			}
+		}
+		if app.haveAllocation && math.Abs(entitled-app.lastWays) >= 1 {
+			app.warmupStartMs = e.nowMs
+			app.warmupUntilMs = e.nowMs + e.tun.WarmupMs
+		}
+		app.lastWays = entitled
+		app.haveAllocation = true
+	}
+	return nil
+}
+
+// Step advances the simulation by one tick.
+func (e *Engine) Step() {
+	dt := e.tick
+	for _, a := range e.apps {
+		a.arrive(e.nowMs, dt)
+	}
+	e.resolveCores()
+	e.resolveCache()
+	e.resolveMemBW()
+	e.progress(dt)
+	e.nowMs += dt
+}
+
+// RunWindow advances the simulation by one monitoring interval and returns
+// each application's observation for it.
+func (e *Engine) RunWindow(windowMs float64) []sched.AppWindow {
+	e.windowStartMs = e.nowMs
+	end := e.nowMs + windowMs
+	for e.nowMs < end-e.tick/2 {
+		e.Step()
+	}
+	return e.snapshot(windowMs)
+}
+
+// snapshot drains the per-window accumulators into AppWindow observations.
+func (e *Engine) snapshot(windowMs float64) []sched.AppWindow {
+	out := make([]sched.AppWindow, 0, len(e.apps))
+	for _, a := range e.apps {
+		w := sched.AppWindow{Spec: e.specOf(a)}
+		if a.class == workload.LC {
+			st := a.latWin.Snapshot()
+			w.P95Ms, w.MeanMs = st.P95, st.Mean
+			w.Completed, w.Dropped = st.Completed, st.Dropped
+			w.QueueLen = len(a.queue)
+			w.OfferedQPS = float64(a.offered) / windowMs * 1000
+			a.offered = 0
+			// A starved application completes nothing; report the age of
+			// its oldest waiting request as a latency lower bound so the
+			// controller still sees the violation.
+			if st.Completed == 0 {
+				if age := a.oldestAgeMs(e.nowMs); !math.IsNaN(age) {
+					w.P95Ms, w.MeanMs = age, age
+				}
+			}
+		} else {
+			work := a.workWin.Snapshot()
+			w.IPC = a.cfg.BE.SoloIPC * work / (float64(a.threads()) * windowMs)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// specOf builds the static AppSpec for telemetry.
+func (e *Engine) specOf(a *appState) sched.AppSpec {
+	s := sched.AppSpec{Name: a.name, Class: a.class, Threads: a.threads()}
+	if a.cfg.LC != nil {
+		s.QoSTargetMs = a.cfg.LC.QoSTargetMs
+		s.IdealP95Ms = a.cfg.LC.IdealP95Ms
+		s.MaxLoadQPS = a.cfg.LC.MaxLoadQPS
+	} else {
+		s.SoloIPC = a.cfg.BE.SoloIPC
+	}
+	return s
+}
+
+// AppSpecs returns the telemetry specs for all applications, LC first then
+// BE, preserving configuration order within each class.
+func (e *Engine) AppSpecs() []sched.AppSpec {
+	var lc, be []sched.AppSpec
+	for _, a := range e.apps {
+		if a.class == workload.LC {
+			lc = append(lc, e.specOf(a))
+		} else {
+			be = append(be, e.specOf(a))
+		}
+	}
+	return append(lc, be...)
+}
+
+// QueueLen exposes an application's backlog, for tests and the daemon.
+func (e *Engine) QueueLen(app string) int {
+	if i, ok := e.byIdx[app]; ok {
+		return len(e.apps[i].queue)
+	}
+	return 0
+}
+
+// ResetRunStats clears the cumulative run-level accumulators; the
+// controller calls it when the warm-up period ends.
+func (e *Engine) ResetRunStats() {
+	for _, a := range e.apps {
+		a.runLat = a.runLat[:0]
+		a.runWork = 0
+		a.runMs = 0
+	}
+}
+
+// RunP95 returns the exact p95 over every request completed since the last
+// ResetRunStats (NaN if none completed). For a starved application with a
+// non-empty backlog it returns the age of the oldest waiting request, the
+// same lower bound the per-window telemetry reports.
+func (e *Engine) RunP95(app string) float64 {
+	i, ok := e.byIdx[app]
+	if !ok {
+		return math.NaN()
+	}
+	a := e.apps[i]
+	if len(a.runLat) == 0 {
+		return a.oldestAgeMs(e.nowMs)
+	}
+	return metrics.P95(a.runLat)
+}
+
+// RunIPC returns the average IPC over the period since the last
+// ResetRunStats (NaN before any time has elapsed; LC applications return
+// NaN).
+func (e *Engine) RunIPC(app string) float64 {
+	i, ok := e.byIdx[app]
+	if !ok || e.apps[i].class != workload.BE {
+		return math.NaN()
+	}
+	a := e.apps[i]
+	if a.runMs <= 0 {
+		return math.NaN()
+	}
+	return a.cfg.BE.SoloIPC * a.runWork / (float64(a.threads()) * a.runMs)
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"ahq/internal/machine"
+	"ahq/internal/trace"
+	"ahq/internal/workload"
+)
+
+func TestContentionSnapshot(t *testing.T) {
+	x := workload.MustLC("xapian")
+	s := workload.MustBE("stream")
+	e, err := New(Config{
+		Spec: machine.DefaultSpec(),
+		Seed: 2,
+		Apps: []AppConfig{
+			{LC: &x, Load: trace.Constant(0.5)},
+			{BE: &s},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := machine.Allocation{Regions: []machine.Region{
+		{Name: "iso:xapian", Kind: machine.Isolated, Cores: 4, Ways: 8, BWUnits: 4, Apps: []string{"xapian"}},
+		{Name: "shared", Kind: machine.Shared, Cores: 6, Ways: 12, BWUnits: 6, Apps: []string{"stream", "xapian"}},
+	}}
+	if err := e.SetAllocation(alloc); err != nil {
+		t.Fatal(err)
+	}
+	for e.NowMs() < 1_000 {
+		e.Step()
+	}
+	snap := e.Contention()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d apps", len(snap))
+	}
+	xc, sc := snap[0], snap[1]
+	if xc.Name != "xapian" || xc.Class != workload.LC {
+		t.Errorf("first entry = %+v", xc)
+	}
+	if xc.IsolatedCores != 4 {
+		t.Errorf("xapian isolated cores = %d", xc.IsolatedCores)
+	}
+	// Isolated ways are exclusive, so xapian's effective ways must be at
+	// least its isolated count.
+	if xc.EffectiveWays < 8 {
+		t.Errorf("xapian effective ways = %.2f, want >= 8", xc.EffectiveWays)
+	}
+	if sc.ActiveThreads != 10 {
+		t.Errorf("stream active threads = %d, want 10", sc.ActiveThreads)
+	}
+	if sc.TotalCoreShare <= 0 || sc.TotalCoreShare > 6+1e-9 {
+		t.Errorf("stream core share = %.2f, want (0, 6]", sc.TotalCoreShare)
+	}
+	if sc.Slowdown < 1 {
+		t.Errorf("stream slowdown = %.2f under bandwidth pressure", sc.Slowdown)
+	}
+}
+
+func TestWarmupTriggersOnWayChange(t *testing.T) {
+	x := workload.MustLC("xapian")
+	e, err := New(Config{
+		Spec: machine.DefaultSpec(),
+		Seed: 3,
+		Apps: []AppConfig{{LC: &x, Load: trace.Constant(0.3)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e.NowMs() < 500 {
+		e.Step()
+	}
+	app := e.apps[0]
+	if e.nowMs < app.warmupUntilMs {
+		t.Fatal("warm-up active before any repartition")
+	}
+	// Repartition: shrink the ways xapian may touch.
+	alloc := machine.Allocation{Regions: []machine.Region{{
+		Name: "iso:xapian", Kind: machine.Isolated, Cores: 10, Ways: 6, BWUnits: 10,
+		Apps: []string{"xapian"},
+	}}}
+	if err := e.SetAllocation(alloc); err != nil {
+		t.Fatal(err)
+	}
+	if app.warmupUntilMs <= e.nowMs {
+		t.Error("way change did not trigger warm-up")
+	}
+	// Re-applying the identical allocation is free: no new warm-up.
+	until := app.warmupUntilMs
+	for e.NowMs() < until+100 {
+		e.Step()
+	}
+	if err := e.SetAllocation(alloc); err != nil {
+		t.Fatal(err)
+	}
+	if app.warmupUntilMs > until {
+		t.Error("identical allocation re-triggered warm-up")
+	}
+}

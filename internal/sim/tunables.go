@@ -1,0 +1,69 @@
+// Package sim is the datacenter-node simulator that substitutes for the
+// paper's physical testbed (Xeon E5-2630 v4 + Intel CAT). It advances time
+// in 1 ms ticks; within each tick it admits Poisson request arrivals, shares
+// cores among runnable threads (CFS-like within fair regions, strict
+// priority in LC-priority regions), resolves LLC-way occupancy and memory
+// bandwidth contention, and progresses individual requests so that tail
+// percentiles are real order statistics.
+//
+// The contention phenomenology — per-thread core sharing, concave miss-ratio
+// curves, a bandwidth roofline, and switch/warm-up overheads — is what
+// produces every qualitative result in the paper; see DESIGN.md §3.
+package sim
+
+// Tunables collects the contention-model constants. Defaults reproduce the
+// paper's qualitative behaviour; the ablation benchmarks sweep them.
+type Tunables struct {
+	// SwitchOverhead is the fractional speed loss of a thread that
+	// timeshares a core with other threads (context switching and
+	// scheduler overhead under CFS).
+	SwitchOverhead float64
+	// PollutionOverhead is the extra fractional speed loss when the
+	// co-resident threads belong to a *different* application (cache and
+	// TLB pollution on the private levels, which way partitioning cannot
+	// isolate).
+	PollutionOverhead float64
+	// WarmupMs is how long an application runs degraded after its LLC
+	// ways change (cache warm-up after CAT repartitioning).
+	WarmupMs float64
+	// WarmupMissBoost is the additive miss-ratio penalty at the start of
+	// warm-up, decaying linearly to zero over WarmupMs.
+	WarmupMissBoost float64
+	// MinBWSatisfaction floors the modelled bandwidth satisfaction ratio
+	// to keep slowdowns finite.
+	MinBWSatisfaction float64
+	// RefWays is the way count against which service times are
+	// normalised: the "ample resources" configuration used to profile
+	// TL_i0 and solo IPC.
+	RefWays float64
+	// TimesliceMs models the CFS scheduling granularity: in a crowded
+	// fair-share region a freshly arrived LC request waits roughly
+	// TimesliceMs*((runnable-cores)/cores)^2 before first getting a core
+	// (wakeup-to-dispatch delay, superlinear in crowding). LC-priority
+	// regions dispatch LC work immediately, which is exactly the
+	// LC-first advantage the paper shows.
+	TimesliceMs float64
+	// DispatchDelayCapMs bounds the modelled dispatch delay.
+	DispatchDelayCapMs float64
+	// BatchDrag is how strongly an always-runnable best-effort thread
+	// competes with latency-critical threads under CFS. Sleeper fairness
+	// lets a waking LC thread preempt batch work promptly, so each batch
+	// thread costs LC threads only a fraction of a fair-share slot;
+	// 1 would be strict per-thread fairness, 0 would be strict priority.
+	BatchDrag float64
+}
+
+// DefaultTunables returns the constants used throughout the evaluation.
+func DefaultTunables() Tunables {
+	return Tunables{
+		SwitchOverhead:     0.04,
+		PollutionOverhead:  0.06,
+		WarmupMs:           50,
+		WarmupMissBoost:    0.25,
+		MinBWSatisfaction:  0.05,
+		RefWays:            20,
+		TimesliceMs:        4,
+		DispatchDelayCapMs: 15,
+		BatchDrag:          0.5,
+	}
+}

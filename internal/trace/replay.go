@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses a load profile from CSV with a header and two columns:
+//
+//	time_s,load
+//	0,0.10
+//	40,0.30
+//
+// Times are seconds (converted to ms internally), loads are fractions of
+// max load in [0,1]. Rows may be unordered; they are sorted. This is how
+// recorded production load traces are replayed against the simulator
+// (cmd/ahqd and the examples accept such files).
+func ReadCSV(r io.Reader) (Steps, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("trace: need a header and at least one row")
+	}
+	timeCol, loadCol := -1, -1
+	for i, h := range rows[0] {
+		switch strings.ToLower(strings.TrimSpace(h)) {
+		case "time_s", "time", "t":
+			timeCol = i
+		case "load", "frac", "fraction":
+			loadCol = i
+		}
+	}
+	if timeCol < 0 || loadCol < 0 {
+		return nil, fmt.Errorf("trace: header must name a time_s and a load column, got %v", rows[0])
+	}
+	steps := make([]Step, 0, len(rows)-1)
+	for n, row := range rows[1:] {
+		if len(row) <= timeCol || len(row) <= loadCol {
+			return nil, fmt.Errorf("trace: row %d too short", n+2)
+		}
+		ts, err := strconv.ParseFloat(strings.TrimSpace(row[timeCol]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad time %q", n+2, row[timeCol])
+		}
+		frac, err := strconv.ParseFloat(strings.TrimSpace(row[loadCol]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad load %q", n+2, row[loadCol])
+		}
+		steps = append(steps, Step{StartMs: ts * 1000, Frac: frac})
+	}
+	return NewSteps(steps...)
+}
+
+// WriteCSV renders a step profile in the ReadCSV format, so profiles can be
+// captured from one run and replayed in another.
+func (s Steps) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "load"}); err != nil {
+		return err
+	}
+	for _, st := range s {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(st.StartMs/1000, 'g', -1, 64),
+			strconv.FormatFloat(st.Frac, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,172 @@
+// Package workload defines the application models that stand in for the
+// paper's benchmarks: the six Tailbench latency-critical (LC) services
+// (Xapian, Moses, Img-dnn, Masstree, Sphinx, Silo) and the three best-effort
+// (BE) programs (Fluidanimate, Streamcluster from PARSEC, and STREAM).
+//
+// An LC application is an open-loop Poisson request source served by a fixed
+// worker-thread pool, with log-normally distributed per-request service
+// demand. A BE application is an always-runnable bundle of compute threads.
+// Both carry a miss-ratio curve (cache footprint) and a memory-bandwidth
+// intensity, which is where collocation interference comes from.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Class distinguishes latency-critical from best-effort applications.
+type Class int
+
+const (
+	// LC marks latency-critical applications, judged by p95 tail latency.
+	LC Class = iota
+	// BE marks best-effort applications, judged by IPC.
+	BE
+)
+
+// String returns "LC" or "BE".
+func (c Class) String() string {
+	if c == BE {
+		return "BE"
+	}
+	return "LC"
+}
+
+// CacheProfile is a compact miss-ratio curve: the fraction of accesses that
+// miss in the LLC as a function of the number of ways available to the
+// application. The concave-exponential form captures the usual shape:
+// rapid improvement up to the working set, then a floor of compulsory
+// misses.
+type CacheProfile struct {
+	// WorkingSetWays is the e-folding scale of the curve; around 2-3x this
+	// many ways the curve is essentially flat.
+	WorkingSetWays float64
+	// MinMissRatio is the floor reached with unlimited cache (compulsory
+	// and coherence misses). STREAM has a floor near 1: it has no reuse.
+	MinMissRatio float64
+}
+
+// MissRatio returns the LLC miss ratio given the effective number of ways,
+// which may be fractional when ways are shared.
+func (c CacheProfile) MissRatio(ways float64) float64 {
+	if ways < 0 {
+		ways = 0
+	}
+	if c.WorkingSetWays <= 0 {
+		return c.MinMissRatio
+	}
+	return c.MinMissRatio + (1-c.MinMissRatio)*math.Exp(-ways/c.WorkingSetWays)
+}
+
+// Sensitivity describes how an application's execution speed reacts to the
+// memory hierarchy. Per-request service demand (LC) or per-cycle progress
+// (BE) is scaled by
+//
+//	slow = (1 + CacheSens*miss) * (1 + MemSens*(1/bwSat - 1))
+//
+// normalised so that the solo, full-resource configuration has slow == 1.
+type Sensitivity struct {
+	// CacheSens is the service-time inflation per unit LLC miss ratio.
+	CacheSens float64
+	// MemSens scales the penalty of unsatisfied memory bandwidth demand.
+	MemSens float64
+	// MemGBpsPerThread is the bandwidth one running thread of the
+	// application would draw if it missed on every access.
+	MemGBpsPerThread float64
+}
+
+// LCApp is the model of one latency-critical service.
+type LCApp struct {
+	// Name identifies the application ("xapian", "moses", ...).
+	Name string
+	// Threads is the worker pool size; Tailbench instances use 4.
+	Threads int
+	// ServiceMeanMs is the mean per-request service demand at full
+	// resources, in core-milliseconds.
+	ServiceMeanMs float64
+	// ServiceSigma is the sigma of the log-normal service distribution.
+	ServiceSigma float64
+	// MaxLoadQPS is the maximum sustainable load (Table IV); experiment
+	// loads are expressed as fractions of it.
+	MaxLoadQPS float64
+	// QoSTargetMs is M_i, the maximum tolerable p95 (Table IV).
+	QoSTargetMs float64
+	// IdealP95Ms is TL_i0, the p95 with ample resources and no co-runners.
+	IdealP95Ms float64
+	// ClientQueueCap bounds outstanding requests, modelling the finite
+	// connection pool of the load generator; arrivals beyond it are
+	// rejected (counted as drops) rather than queued forever.
+	ClientQueueCap int
+	// Terms, when set, multiplies each request's service demand by a
+	// Zipfian content factor (Xapian's query-term mix, YCSB's key skew).
+	// Construction refits ServiceSigma so the ideal p95 is preserved.
+	Terms *TermMix
+	Cache CacheProfile
+	Sens  Sensitivity
+}
+
+// Validate reports whether the model parameters are coherent.
+func (a LCApp) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("workload: LC app with empty name")
+	}
+	if a.Threads <= 0 {
+		return fmt.Errorf("workload: %s: threads must be positive", a.Name)
+	}
+	if a.ServiceMeanMs <= 0 {
+		return fmt.Errorf("workload: %s: service mean must be positive", a.Name)
+	}
+	if a.ServiceSigma < 0 {
+		return fmt.Errorf("workload: %s: service sigma must be non-negative", a.Name)
+	}
+	if a.MaxLoadQPS <= 0 {
+		return fmt.Errorf("workload: %s: max load must be positive", a.Name)
+	}
+	if !(a.ServiceMeanMs < a.IdealP95Ms && a.IdealP95Ms < a.QoSTargetMs) {
+		return fmt.Errorf("workload: %s: need service mean (%.3g) < ideal p95 (%.3g) < QoS target (%.3g)",
+			a.Name, a.ServiceMeanMs, a.IdealP95Ms, a.QoSTargetMs)
+	}
+	if a.ClientQueueCap <= 0 {
+		return fmt.Errorf("workload: %s: client queue cap must be positive", a.Name)
+	}
+	return nil
+}
+
+// ServiceMu returns the mu parameter of the log-normal service distribution
+// (so that the mean equals ServiceMeanMs).
+func (a LCApp) ServiceMu() float64 {
+	return math.Log(a.ServiceMeanMs) - a.ServiceSigma*a.ServiceSigma/2
+}
+
+// ServiceP95 returns the p95 of the pure service-time distribution: the
+// latency floor the application approaches at very low load.
+func (a LCApp) ServiceP95() float64 {
+	return math.Exp(a.ServiceMu() + 1.6448536269514722*a.ServiceSigma)
+}
+
+// BEApp is the model of one best-effort application.
+type BEApp struct {
+	// Name identifies the application ("fluidanimate", ...).
+	Name string
+	// Threads is the number of compute threads (STREAM uses 10).
+	Threads int
+	// SoloIPC is the IPC measured running alone on the full node.
+	SoloIPC float64
+	Cache   CacheProfile
+	Sens    Sensitivity
+}
+
+// Validate reports whether the model parameters are coherent.
+func (a BEApp) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("workload: BE app with empty name")
+	}
+	if a.Threads <= 0 {
+		return fmt.Errorf("workload: %s: threads must be positive", a.Name)
+	}
+	if a.SoloIPC <= 0 {
+		return fmt.Errorf("workload: %s: solo IPC must be positive", a.Name)
+	}
+	return nil
+}

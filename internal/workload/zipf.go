@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TermMix models the request-content skew of the paper's load generators:
+// Xapian queries are drawn from a Zipfian distribution over index terms,
+// and Moses translates randomly chosen corpus snippets. Popular terms hit
+// warm index structures and finish faster; rare terms walk cold postings
+// and take longer. The mix multiplies each request's sampled service demand
+// by a rank-dependent factor whose mean is exactly 1, so the calibrated
+// mean service time (and therefore max load) is preserved while the tail
+// gains content-dependent weight.
+type TermMix struct {
+	// Terms is the vocabulary size.
+	Terms int
+	// Skew is the Zipf exponent s (> 1); the paper's generators use a
+	// Zipfian query mix, conventionally s in (1, 2].
+	Skew float64
+	// ColdFactor is the service multiplier of the rarest term relative
+	// to the most popular one (>= 1).
+	ColdFactor float64
+
+	factors []float64 // per-rank multiplier, normalised to mean 1
+	cdf     []float64 // cumulative rank probabilities
+}
+
+// NewTermMix builds and normalises a term mix.
+func NewTermMix(terms int, skew, coldFactor float64) (*TermMix, error) {
+	if terms < 2 {
+		return nil, fmt.Errorf("workload: term mix needs at least 2 terms, got %d", terms)
+	}
+	if skew <= 1 {
+		return nil, fmt.Errorf("workload: zipf skew %.3g must exceed 1", skew)
+	}
+	if coldFactor < 1 {
+		return nil, fmt.Errorf("workload: cold factor %.3g must be >= 1", coldFactor)
+	}
+	m := &TermMix{Terms: terms, Skew: skew, ColdFactor: coldFactor}
+
+	// Rank probabilities p(r) ~ 1/r^s and raw factors rising
+	// logarithmically from 1 (hot) to ColdFactor (cold).
+	probs := make([]float64, terms)
+	raw := make([]float64, terms)
+	var z float64
+	for r := 0; r < terms; r++ {
+		probs[r] = 1 / math.Pow(float64(r+1), skew)
+		z += probs[r]
+		raw[r] = 1 + (coldFactor-1)*math.Log(float64(r+1))/math.Log(float64(terms))
+	}
+	mean := 0.0
+	for r := 0; r < terms; r++ {
+		probs[r] /= z
+		mean += probs[r] * raw[r]
+	}
+	m.factors = make([]float64, terms)
+	m.cdf = make([]float64, terms)
+	cum := 0.0
+	for r := 0; r < terms; r++ {
+		m.factors[r] = raw[r] / mean
+		cum += probs[r]
+		m.cdf[r] = cum
+	}
+	m.cdf[terms-1] = 1 // guard against rounding
+	return m, nil
+}
+
+// Sample draws a term rank and returns its service-demand multiplier.
+func (m *TermMix) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(m.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return m.factors[lo]
+}
+
+// MeanFactor returns the probability-weighted mean multiplier; 1 by
+// construction (exposed for tests).
+func (m *TermMix) MeanFactor() float64 {
+	mean := 0.0
+	prev := 0.0
+	for r, c := range m.cdf {
+		mean += (c - prev) * m.factors[r]
+		prev = c
+	}
+	return mean
+}
+
+// Factor returns the multiplier of a given rank (0 = most popular).
+func (m *TermMix) Factor(rank int) float64 {
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(m.factors) {
+		rank = len(m.factors) - 1
+	}
+	return m.factors[rank]
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermMixValidation(t *testing.T) {
+	if _, err := NewTermMix(1, 1.2, 2); err == nil {
+		t.Error("1 term accepted")
+	}
+	if _, err := NewTermMix(100, 1.0, 2); err == nil {
+		t.Error("skew 1.0 accepted")
+	}
+	if _, err := NewTermMix(100, 1.2, 0.5); err == nil {
+		t.Error("cold factor < 1 accepted")
+	}
+}
+
+func TestTermMixMeanIsOne(t *testing.T) {
+	f := func(nRaw, skewRaw, coldRaw uint16) bool {
+		n := int(nRaw)%5000 + 2
+		skew := 1.01 + float64(skewRaw%200)/100
+		cold := 1 + float64(coldRaw%500)/100
+		m, err := NewTermMix(n, skew, cold)
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.MeanFactor()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermMixFactorsMonotone(t *testing.T) {
+	m, err := NewTermMix(1000, 1.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for r := 0; r < 1000; r++ {
+		f := m.Factor(r)
+		if f < prev {
+			t.Fatalf("factor not monotone at rank %d: %g < %g", r, f, prev)
+		}
+		prev = f
+	}
+	// Rank clamping.
+	if m.Factor(-5) != m.Factor(0) || m.Factor(9999) != m.Factor(999) {
+		t.Error("rank clamping broken")
+	}
+	// Cold/hot ratio matches the configured factor.
+	if ratio := m.Factor(999) / m.Factor(0); math.Abs(ratio-3) > 1e-9 {
+		t.Errorf("cold/hot ratio = %g, want 3", ratio)
+	}
+}
+
+func TestTermMixSampleStatistics(t *testing.T) {
+	m, err := NewTermMix(10_000, 1.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sum := 0.0
+	const n = 200_000
+	hot := 0
+	for i := 0; i < n; i++ {
+		f := m.Sample(rng)
+		sum += f
+		if f == m.Factor(0) {
+			hot++
+		}
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.01 {
+		t.Errorf("empirical mean factor = %g, want ~1", mean)
+	}
+	// The most popular term must dominate: with skew 1.2 its probability
+	// is far above uniform (1e-4).
+	if frac := float64(hot) / n; frac < 0.05 {
+		t.Errorf("hottest term drawn %.4f of the time; Zipf skew missing", frac)
+	}
+}
+
+func TestFitSigmaPreservesIdealP95(t *testing.T) {
+	app := MustLC("xapian")
+	if app.Terms == nil {
+		t.Fatal("xapian should carry a term mix")
+	}
+	// Monte-Carlo the combined service distribution and check its p95
+	// sits on the calibrated TL_i0 while the mean stays on target.
+	rng := rand.New(rand.NewSource(7))
+	const n = 100_000
+	xs := make([]float64, n)
+	sum := 0.0
+	for i := range xs {
+		xs[i] = math.Exp(app.ServiceMu()+app.ServiceSigma*rng.NormFloat64()) * app.Terms.Sample(rng)
+		sum += xs[i]
+	}
+	if mean := sum / n; math.Abs(mean-app.ServiceMeanMs)/app.ServiceMeanMs > 0.02 {
+		t.Errorf("service mean = %g, want %g", mean, app.ServiceMeanMs)
+	}
+	sort.Float64s(xs)
+	p95 := xs[int(0.95*float64(len(xs)))]
+	if math.Abs(p95-app.IdealP95Ms)/app.IdealP95Ms > 0.05 {
+		t.Errorf("combined service p95 = %g, want ~%g", p95, app.IdealP95Ms)
+	}
+}
