@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench results fuzz clean
+.PHONY: all build vet test test-short race bench results fuzz clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,10 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass; exercises the parallel experiment harness.
+race:
+	$(GO) test -race ./...
 
 # One testing.B entry per paper table/figure (quick horizons).
 bench:

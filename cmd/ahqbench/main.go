@@ -7,9 +7,13 @@
 //	ahqbench -run table2
 //	ahqbench -run fig8 -seed 7
 //	ahqbench -all
+//	ahqbench -all -parallel 8
 //
 // Output is plain text; heatmap/timeline experiments additionally emit CSV
-// rows suitable for plotting.
+// rows suitable for plotting. Each experiment fans its independent
+// simulation runs out over -parallel workers (NumCPU by default) and
+// reassembles them in declaration order, so stdout is byte-identical at
+// every parallelism level; timings are printed to stderr.
 package main
 
 import (
@@ -25,12 +29,13 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		runID  = flag.String("run", "", "experiment id to run (see -list)")
-		all    = flag.Bool("all", false, "run every experiment")
-		seed   = flag.Int64("seed", 42, "simulation seed")
-		quick  = flag.Bool("quick", false, "short horizons (smoke test)")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		runID    = flag.String("run", "", "experiment id to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		quick    = flag.Bool("quick", false, "short horizons (smoke test)")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		parallel = flag.Int("parallel", 0, "simulation runs to execute concurrently per experiment (0 = NumCPU, 1 = sequential); output is identical at any level")
 	)
 	flag.Parse()
 
@@ -41,7 +46,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick}
+	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick, Parallel: *parallel}
 	var ids []string
 	switch {
 	case *all:
@@ -56,15 +61,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := runAll(os.Stdout, ids, cfg, *csvDir); err != nil {
+	if err := runAll(os.Stdout, os.Stderr, ids, cfg, *csvDir); err != nil {
 		fmt.Fprintf(os.Stderr, "ahqbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // runAll executes the experiments in order, printing each result (and CSV
-// files when csvDir is set) to w.
-func runAll(w io.Writer, ids []string, cfg experiments.RunConfig, csvDir string) error {
+// files when csvDir is set) to w. Per-experiment wall-clock timings go to
+// timings so that w stays byte-identical across runs and -parallel levels.
+func runAll(w, timings io.Writer, ids []string, cfg experiments.RunConfig, csvDir string) error {
 	for _, id := range ids {
 		d, ok := experiments.Lookup(id)
 		if !ok {
@@ -83,7 +89,8 @@ func runAll(w io.Writer, ids []string, cfg experiments.RunConfig, csvDir string)
 			}
 			fmt.Fprintf(w, "(csv: %s)\n", strings.Join(files, ", "))
 		}
-		fmt.Fprintf(w, "(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(w)
+		fmt.Fprintf(timings, "(%s finished in %v)\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,29 +12,37 @@ import (
 
 func TestRunAllUnknownID(t *testing.T) {
 	var b strings.Builder
-	err := runAll(&b, []string{"nope"}, experiments.RunConfig{Seed: 1, Quick: true}, "")
+	err := runAll(&b, io.Discard, []string{"nope"}, experiments.RunConfig{Seed: 1, Quick: true}, "")
 	if err == nil || !strings.Contains(err.Error(), "nope") {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestRunAllFig4(t *testing.T) {
-	var b strings.Builder
-	if err := runAll(&b, []string{"fig4"}, experiments.RunConfig{Seed: 1, Quick: true}, ""); err != nil {
+	var b, timings strings.Builder
+	if err := runAll(&b, &timings, []string{"fig4"}, experiments.RunConfig{Seed: 1, Quick: true}, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
-	for _, want := range []string{"fig4", "isolated to LC1", "finished in"} {
+	for _, want := range []string{"fig4", "isolated to LC1"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+	// Wall-clock timings go to the timings writer, not the result stream,
+	// so the result stream stays reproducible.
+	if !strings.Contains(timings.String(), "finished in") {
+		t.Errorf("timings missing duration line: %q", timings.String())
+	}
+	if strings.Contains(out, "finished in") {
+		t.Error("result stream contains wall-clock timing")
 	}
 }
 
 func TestRunAllWithCSV(t *testing.T) {
 	dir := t.TempDir()
 	var b strings.Builder
-	if err := runAll(&b, []string{"fig4"}, experiments.RunConfig{Seed: 1, Quick: true}, dir); err != nil {
+	if err := runAll(&b, io.Discard, []string{"fig4"}, experiments.RunConfig{Seed: 1, Quick: true}, dir); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig4_*.csv"))
@@ -47,4 +56,42 @@ func TestRunAllWithCSV(t *testing.T) {
 	if !strings.Contains(string(data), "scheme") {
 		t.Errorf("csv content: %q", data)
 	}
+}
+
+// TestRunAllDeterministicAcrossParallelism is the -all -quick determinism
+// gate: the full experiment suite must render byte-identical output at
+// -parallel 1 and -parallel 8 for the same seed.
+func TestRunAllDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full -all -quick suite twice; not -short")
+	}
+	var ids []string
+	for _, d := range experiments.All() {
+		ids = append(ids, d.ID)
+	}
+	render := func(parallel int) string {
+		var b strings.Builder
+		cfg := experiments.RunConfig{Seed: 42, Quick: true, Parallel: parallel}
+		if err := runAll(&b, io.Discard, ids, cfg, ""); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return b.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("-all -quick output differs between -parallel 1 and -parallel 8; first differing line:\n%s",
+			firstDiffLine(seq, par))
+	}
+}
+
+// firstDiffLine locates the first line where two renderings diverge.
+func firstDiffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "seq: " + al[i] + "\npar: " + bl[i]
+		}
+	}
+	return "(outputs are prefixes of each other)"
 }

@@ -23,7 +23,8 @@ type Options struct {
 	// EpochMs is the monitoring interval; 0 means the paper's 500 ms.
 	EpochMs float64
 	// WarmupMs is discarded from run-level statistics (the system needs a
-	// few epochs to converge); 0 means 5000 ms.
+	// few epochs to converge); 0 means 10000 ms, negative means no
+	// warm-up.
 	WarmupMs float64
 	// DurationMs is the measured horizon after warm-up; 0 means 20000 ms.
 	DurationMs float64
@@ -274,14 +275,25 @@ func Run(engine *sim.Engine, strategy sched.Strategy, opts Options) (*Result, er
 
 // SamplesFromWindows converts epoch telemetry into entropy inputs, skipping
 // idle applications (no measurement) and treating a starved application's
-// lower-bound latency as its measured latency.
+// lower-bound latency as its measured latency; a starved application with
+// no observable lower bound is clamped to a saturated, target-exceeding
+// latency so it still counts against E_LC.
 func SamplesFromWindows(apps []sched.AppWindow) ([]entropy.LCSample, []entropy.BESample) {
 	var lc []entropy.LCSample
 	var be []entropy.BESample
 	for _, w := range apps {
 		if w.Spec.Class == workload.LC {
 			if math.IsNaN(w.P95Ms) || w.P95Ms <= 0 {
-				continue
+				if w.QueueLen == 0 && w.Dropped == 0 && w.Completed == 0 {
+					continue // idle: nothing offered, nothing to measure
+				}
+				// Starved with no usable latency observation (e.g. the
+				// backlog arrived at the window boundary, so even the
+				// oldest-request age is zero): saturate the sample at a
+				// target-exceeding lower bound, mirroring the BE zero-IPC
+				// clamp below, so the worst interference case raises E_LC
+				// instead of vanishing from it.
+				w.P95Ms = w.Spec.QoSTargetMs * 1e3
 			}
 			lc = append(lc, entropy.LCSample{
 				Name: w.Spec.Name, IdealMs: w.Spec.IdealP95Ms,

@@ -169,6 +169,44 @@ func TestSamplesFromWindows(t *testing.T) {
 	}
 }
 
+// A starved LC application with no usable latency observation must emit a
+// saturated sample (measured latency far above target), not disappear from
+// E_LC — dropping it understates the worst interference case.
+func TestSamplesFromWindowsStarvedLC(t *testing.T) {
+	spec := sched.AppSpec{Name: "s", Class: workload.LC, IdealP95Ms: 1, QoSTargetMs: 2}
+	cases := []struct {
+		label string
+		win   sched.AppWindow
+	}{
+		{"NaN p95, queued backlog", sched.AppWindow{Spec: spec, P95Ms: math.NaN(), QueueLen: 3}},
+		{"zero p95, queued backlog", sched.AppWindow{Spec: spec, P95Ms: 0, QueueLen: 1}},
+		{"NaN p95, all dropped", sched.AppWindow{Spec: spec, P95Ms: math.NaN(), Dropped: 7}},
+	}
+	for _, c := range cases {
+		lc, _ := SamplesFromWindows([]sched.AppWindow{c.win})
+		if len(lc) != 1 {
+			t.Errorf("%s: starved LC app dropped (samples = %v)", c.label, lc)
+			continue
+		}
+		s := lc[0]
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: saturated sample invalid: %v", c.label, err)
+		}
+		if s.MeasuredMs <= s.TargetMs {
+			t.Errorf("%s: measured %.3g not above target %.3g", c.label, s.MeasuredMs, s.TargetMs)
+		}
+		if q := s.Intolerable(); q < 0.99 {
+			t.Errorf("%s: Q_i = %.3g, want saturated (~1)", c.label, q)
+		}
+	}
+	// A genuinely idle application (nothing offered, nothing queued) still
+	// yields no sample.
+	idle := sched.AppWindow{Spec: spec, P95Ms: math.NaN()}
+	if lc, _ := SamplesFromWindows([]sched.AppWindow{idle}); len(lc) != 0 {
+		t.Errorf("idle LC app produced samples: %v", lc)
+	}
+}
+
 func TestOptionsDefaults(t *testing.T) {
 	o := Options{}.withDefaults()
 	if o.EpochMs != 500 || o.WarmupMs != 10000 || o.DurationMs != 20000 || o.RI != 0.8 {

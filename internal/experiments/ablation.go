@@ -36,15 +36,22 @@ func runAblationInterval(cfg RunConfig) (*Result, error) {
 		Caption: "ARQ on Xapian 70% + Moses/Img-dnn 20% + Stream",
 		Columns: []string{"interval (ms)", "violations", "adjustments", "mean E_LC", "mean E_S"},
 	}
-	for _, epoch := range []float64{250, 500, 1000, 2000} {
+	// runMix fills the run mode's horizons even though only EpochMs is
+	// customised here (it used to silently fall back to core defaults).
+	epochs := []float64{250, 500, 1000, 2000}
+	p := newPool(cfg)
+	futs := make([]*future[*core.Result], len(epochs))
+	for i, epoch := range epochs {
 		f, err := StrategyByName("arq")
 		if err != nil {
 			return nil, err
 		}
-		warm, dur := horizons(cfg)
-		run, err := runMix(cfg, machine.DefaultSpec(),
+		futs[i] = runMixAsync(p, cfg, machine.DefaultSpec(),
 			standardMix(0.70, 0.20, 0.20, "stream"), f,
-			core.Options{EpochMs: epoch, WarmupMs: warm, DurationMs: dur})
+			core.Options{EpochMs: epoch})
+	}
+	for i, epoch := range epochs {
+		run, err := futs[i].wait()
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +94,9 @@ func runAblationARQ(cfg RunConfig) (*Result, error) {
 		}},
 		{"strict partitioning (parties)", nil}, // filled below
 	}
-	for _, v := range variants {
+	p := newPool(cfg)
+	futs := make([]*future[*core.Result], len(variants))
+	for i, v := range variants {
 		var f StrategyFactory
 		if v.make != nil {
 			mk := v.make
@@ -99,8 +108,11 @@ func runAblationARQ(cfg RunConfig) (*Result, error) {
 				return nil, err
 			}
 		}
-		run, err := runMix(cfg, machine.DefaultSpec(),
+		futs[i] = runMixAsync(p, cfg, machine.DefaultSpec(),
 			standardMix(0.70, 0.20, 0.20, "stream"), f, core.Options{})
+	}
+	for i, v := range variants {
+		run, err := futs[i].wait()
 		if err != nil {
 			return nil, err
 		}
@@ -121,15 +133,20 @@ func runAblationRI(cfg RunConfig) (*Result, error) {
 		Caption: "ARQ on Xapian 50% + Moses/Img-dnn 20% + Stream",
 		Columns: []string{"RI", "mean E_LC", "mean E_BE", "mean E_S", "yield"},
 	}
-	for _, ri := range []float64{0.5, 0.65, 0.8, 0.95} {
+	ris := []float64{0.5, 0.65, 0.8, 0.95}
+	p := newPool(cfg)
+	futs := make([]*future[*core.Result], len(ris))
+	for i, ri := range ris {
 		f, err := StrategyByName("arq")
 		if err != nil {
 			return nil, err
 		}
-		warm, dur := horizons(cfg)
-		run, err := runMix(cfg, machine.DefaultSpec(),
+		futs[i] = runMixAsync(p, cfg, machine.DefaultSpec(),
 			standardMix(0.50, 0.20, 0.20, "stream"), f,
-			core.Options{EpochMs: 500, WarmupMs: warm, DurationMs: dur, RI: ri})
+			core.Options{EpochMs: 500, RI: ri})
+	}
+	for i, ri := range ris {
+		run, err := futs[i].wait()
 		if err != nil {
 			return nil, err
 		}

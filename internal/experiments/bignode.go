@@ -62,10 +62,18 @@ func runExtBigNode(cfg RunConfig) (*Result, error) {
 	for _, l := range loads {
 		tab.Columns = append(tab.Columns, fmtPct(l)+" E_LC", fmtPct(l)+" E_S")
 	}
-	for _, f := range strategies {
+	p := newPool(cfg)
+	futs := make([][]*future[*core.Result], len(strategies))
+	for si, f := range strategies {
+		futs[si] = make([]*future[*core.Result], len(loads))
+		for li, l := range loads {
+			futs[si][li] = runMixAsync(p, cfg, bigNodeSpec(), mkApps(l), f, core.Options{})
+		}
+	}
+	for si, f := range strategies {
 		row := []string{f.Name}
-		for _, l := range loads {
-			run, err := runMix(cfg, bigNodeSpec(), mkApps(l), f, core.Options{})
+		for li, l := range loads {
+			run, err := futs[si][li].wait()
 			if err != nil {
 				return nil, fmt.Errorf("%s at %.0f%%: %w", f.Name, 100*l, err)
 			}

@@ -52,21 +52,37 @@ func runExtCluster(cfg RunConfig) (*Result, error) {
 		Caption: "6 LC + 2 BE over two nodes under per-node ARQ",
 		Columns: []string{"placement", "node0 apps", "node1 apps", "global E_LC", "global E_BE", "global E_S", "global yield"},
 	}
-	for _, p := range placements {
-		placement, err := p.build()
-		if err != nil {
-			return nil, err
-		}
-		run, err := cluster.Run(cluster.Config{
-			Spec:        machine.DefaultSpec(),
-			Seed:        cfg.Seed,
-			NewStrategy: func(int) sched.Strategy { return arqFactory() },
-			Placement:   placement,
-		}, opts)
+	type clusterOut struct {
+		placement [][]sim.AppConfig
+		run       *cluster.Result
+	}
+	pl := newPool(cfg)
+	futs := make([]*future[clusterOut], len(placements))
+	for i, p := range placements {
+		futs[i] = submit(pl, func() (clusterOut, error) {
+			placement, err := p.build()
+			if err != nil {
+				return clusterOut{}, err
+			}
+			run, err := cluster.Run(cluster.Config{
+				Spec:        machine.DefaultSpec(),
+				Seed:        cfg.Seed,
+				NewStrategy: func(int) sched.Strategy { return arqFactory() },
+				Placement:   placement,
+			}, opts)
+			if err != nil {
+				return clusterOut{}, err
+			}
+			return clusterOut{placement: placement, run: run}, nil
+		})
+	}
+	for i, p := range placements {
+		out, err := futs[i].wait()
 		if err != nil {
 			return nil, fmt.Errorf("placement %s: %w", p.label, err)
 		}
-		tab.AddRow(p.label, len(placement[0]), len(placement[1]),
+		run := out.run
+		tab.AddRow(p.label, len(out.placement[0]), len(out.placement[1]),
 			run.GlobalELC, run.GlobalEBE, run.GlobalES, fmtPct(run.GlobalYield))
 	}
 	tab.Notes = append(tab.Notes,

@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"unicode/utf8"
 )
 
 // RunConfig parameterises a runner invocation.
@@ -19,6 +20,11 @@ type RunConfig struct {
 	// Quick shortens warm-up and measurement horizons (used by unit
 	// tests); the full horizons are used by default.
 	Quick bool
+	// Parallel bounds how many simulation runs a runner executes
+	// simultaneously; <= 0 means runtime.NumCPU(), 1 runs sequentially.
+	// Results are assembled in declaration order, so output is identical
+	// at every parallelism level.
+	Parallel int
 }
 
 // Result is a runner's output: one or more rendered tables.
@@ -59,12 +65,12 @@ func (t *Table) AddRow(cells ...interface{}) {
 func (t Table) Fprint(w io.Writer) {
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if n := utf8.RuneCountInString(cell); i < len(widths) && n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -109,10 +115,11 @@ func (r *Result) Fprint(w io.Writer) {
 }
 
 func pad(s string, w int) string {
-	if len(s) >= w {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-n)
 }
 
 // Runner regenerates one paper artifact.

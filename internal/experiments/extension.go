@@ -40,13 +40,19 @@ func runExtWeighted(cfg RunConfig) (*Result, error) {
 	for _, w := range weightings {
 		tab.Columns = append(tab.Columns, w.label+" E_LC", w.label+" E_S")
 	}
-	for _, name := range []string{"parties", "arq"} {
+	p := newPool(cfg)
+	names := []string{"parties", "arq"}
+	futs := make([]*future[*core.Result], len(names))
+	for i, name := range names {
 		f, err := StrategyByName(name)
 		if err != nil {
 			return nil, err
 		}
-		run, err := runMix(cfg, machine.DefaultSpec(),
+		futs[i] = runMixAsync(p, cfg, machine.DefaultSpec(),
 			standardMix(0.70, 0.20, 0.20, "stream"), f, core.Options{})
+	}
+	for i, name := range names {
+		run, err := futs[i].wait()
 		if err != nil {
 			return nil, err
 		}

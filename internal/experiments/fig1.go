@@ -55,11 +55,16 @@ func runFig1(cfg RunConfig) (*Result, error) {
 		{"A (partial sharing)", strategyA},
 		{"B (strict isolation)", strategyB},
 	}
-	for _, c := range cases {
+	p := newPool(cfg)
+	futs := make([]*future[*core.Result], len(cases))
+	for i, c := range cases {
 		f := StrategyFactory{Name: c.label, New: func(int64) sched.Strategy {
 			return static.Fixed{Label: c.label, Alloc: c.alloc}
 		}}
-		run, err := runMix(cfg, spec, apps, f, core.Options{})
+		futs[i] = runMixAsync(p, cfg, spec, apps, f, core.Options{})
+	}
+	for i, c := range cases {
+		run, err := futs[i].wait()
 		if err != nil {
 			return nil, err
 		}

@@ -27,6 +27,7 @@ func runFig10(cfg RunConfig) (*Result, error) {
 	if cfg.Quick {
 		loads = []float64{0.10, 0.50, 0.90}
 	}
+	p := newPool(cfg)
 	for _, name := range []string{"parties", "arq"} {
 		f, err := StrategyByName(name)
 		if err != nil {
@@ -48,21 +49,29 @@ func runFig10(cfg RunConfig) (*Result, error) {
 			}
 			res.Tables = append(res.Tables, tab)
 		}
-		// Fill all three tables in one sweep of runs.
+		// Fill all three tables in one sweep of runs, fanned out over the
+		// pool and collected in row-major order.
 		base := len(res.Tables) - 3
 		grids := [3][][]float64{}
 		for k := range grids {
 			grids[k] = make([][]float64, len(loads))
 		}
+		cells := make([][]*future[*core.Result], len(loads))
 		for i, xl := range loads {
-			for _, il := range loads {
+			cells[i] = make([]*future[*core.Result], len(loads))
+			for j, il := range loads {
 				apps := []sim.AppConfig{
 					lcAt("xapian", xl),
 					lcAt("moses", 0.20),
 					lcAt("img-dnn", il),
 					beApp("stream"),
 				}
-				run, err := runMix(cfg, machine.DefaultSpec(), apps, f, core.Options{})
+				cells[i][j] = runMixAsync(p, cfg, machine.DefaultSpec(), apps, f, core.Options{})
+			}
+		}
+		for i := range loads {
+			for j := range loads {
+				run, err := cells[i][j].wait()
 				if err != nil {
 					return nil, err
 				}

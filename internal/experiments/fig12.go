@@ -44,12 +44,18 @@ func runFig12(cfg RunConfig) (*Result, error) {
 		Caption: "run-level p95 (ms) per LC application and IPC per BE application",
 		Columns: []string{"strategy", "moses", "xapian", "img-dnn", "sphinx", "masstree", "silo", "fluid IPC", "strmclst IPC", "E_S", "yield"},
 	}
-	for _, name := range []string{"parties", "arq"} {
+	p := newPool(cfg)
+	names := []string{"parties", "arq"}
+	futs := make([]*future[*core.Result], len(names))
+	for i, name := range names {
 		f, err := StrategyByName(name)
 		if err != nil {
 			return nil, err
 		}
-		run, err := runMix(cfg, machine.DefaultSpec(), apps, f, opts)
+		futs[i] = runMixAsync(p, cfg, machine.DefaultSpec(), apps, f, opts)
+	}
+	for i, name := range names {
+		run, err := futs[i].wait()
 		if err != nil {
 			return nil, err
 		}

@@ -45,7 +45,10 @@ func runFig13(cfg RunConfig) (*Result, error) {
 		Columns: []string{"strategy", "violations", "adjustments", "mean E_LC", "mean E_BE", "mean E_S"},
 	}
 	var timelines []Table
-	for _, name := range []string{"lc-first", "parties", "arq"} {
+	p := newPool(cfg)
+	names := []string{"lc-first", "parties", "arq"}
+	futs := make([]*future[*core.Result], len(names))
+	for i, name := range names {
 		f, err := StrategyByName(name)
 		if err != nil {
 			return nil, err
@@ -56,7 +59,10 @@ func runFig13(cfg RunConfig) (*Result, error) {
 			lcAt("img-dnn", 0.20),
 			beApp("stream"),
 		}
-		run, err := runMix(cfg, machine.DefaultSpec(), apps, f, opts)
+		futs[i] = runMixAsync(p, cfg, machine.DefaultSpec(), apps, f, opts)
+	}
+	for i, name := range names {
+		run, err := futs[i].wait()
 		if err != nil {
 			return nil, err
 		}

@@ -38,6 +38,11 @@ func esAt(cfg RunConfig, f StrategyFactory, cores, ways int) (float64, error) {
 	return run.MeanES, nil
 }
 
+// esAtAsync submits one esAt measurement to the pool.
+func esAtAsync(p *pool, cfg RunConfig, f StrategyFactory, cores, ways int) *future[float64] {
+	return submit(p, func() (float64, error) { return esAt(cfg, f, cores, ways) })
+}
+
 func runFig2(cfg RunConfig) (*Result, error) {
 	res := &Result{ID: "fig2", Title: "E_S surface over (cores, ways)"}
 	coreRange := []int{4, 5, 6, 7, 8, 9, 10}
@@ -47,11 +52,23 @@ func runFig2(cfg RunConfig) (*Result, error) {
 		coreRange = []int{4, 7, 10}
 		wayRange = []int{4, 12, 20}
 	}
+	p := newPool(cfg)
+	futs := make(map[string][][]*future[float64], len(strategies))
 	for _, name := range strategies {
 		f, err := StrategyByName(name)
 		if err != nil {
 			return nil, err
 		}
+		cells := make([][]*future[float64], len(coreRange))
+		for i, c := range coreRange {
+			cells[i] = make([]*future[float64], len(wayRange))
+			for j, w := range wayRange {
+				cells[i][j] = esAtAsync(p, cfg, f, c, w)
+			}
+		}
+		futs[name] = cells
+	}
+	for _, name := range strategies {
 		tab := Table{
 			Caption: fmt.Sprintf("E_S under %s (rows: cores, cols: LLC ways); Xapian/Moses/Img-dnn 20%% + Fluidanimate", name),
 			Columns: []string{"cores"},
@@ -61,11 +78,11 @@ func runFig2(cfg RunConfig) (*Result, error) {
 		}
 		var grid [][]float64
 		var rowLabels []string
-		for _, c := range coreRange {
+		for i, c := range coreRange {
 			row := []string{fmt.Sprint(c)}
 			var vals []float64
-			for _, w := range wayRange {
-				es, err := esAt(cfg, f, c, w)
+			for j := range wayRange {
+				es, err := futs[name][i][j].wait()
 				if err != nil {
 					return nil, err
 				}
@@ -104,13 +121,20 @@ func runFig3a(cfg RunConfig) (*Result, error) {
 	for i, c := range coreRange {
 		rows[i] = []string{fmt.Sprint(c)}
 	}
+	p := newPool(cfg)
+	futs := make(map[string][]*future[float64], 2)
 	for _, name := range []string{"unmanaged", "arq"} {
 		f, err := StrategyByName(name)
 		if err != nil {
 			return nil, err
 		}
+		for _, c := range coreRange {
+			futs[name] = append(futs[name], esAtAsync(p, cfg, f, c, 20))
+		}
+	}
+	for _, name := range []string{"unmanaged", "arq"} {
 		for i, c := range coreRange {
-			es, err := esAt(cfg, f, c, 20)
+			es, err := futs[name][i].wait()
 			if err != nil {
 				return nil, err
 			}
@@ -164,16 +188,27 @@ func runFig3b(cfg RunConfig) (*Result, error) {
 			return cs
 		}()...),
 	}
+	p := newPool(cfg)
+	futs := make(map[string][][]*future[float64], len(strategies))
 	for _, name := range strategies {
 		f, err := StrategyByName(name)
 		if err != nil {
 			return nil, err
 		}
+		cells := make([][]*future[float64], len(wayRange))
+		for j, w := range wayRange {
+			for c := 4; c <= 10; c++ {
+				cells[j] = append(cells[j], esAtAsync(p, cfg, f, c, w))
+			}
+		}
+		futs[name] = cells
+	}
+	for _, name := range strategies {
 		row := []string{name}
-		for _, w := range wayRange {
+		for j := range wayRange {
 			var pts []entropy.Point
 			for c := 4; c <= 10; c++ {
-				es, err := esAt(cfg, f, c, w)
+				es, err := futs[name][j][c-4].wait()
 				if err != nil {
 					return nil, err
 				}

@@ -32,12 +32,18 @@ func init() {
 func runSnapshot(cfg RunConfig, id string, xapianLoad float64) (*Result, error) {
 	res := &Result{ID: id, Title: fmt.Sprintf("Allocation snapshots, Xapian %s", fmtPct(xapianLoad))}
 	spec := machine.DefaultSpec()
-	for _, name := range []string{"parties", "arq"} {
+	p := newPool(cfg)
+	names := []string{"parties", "arq"}
+	futs := make([]*future[*core.Result], len(names))
+	for i, name := range names {
 		f, err := StrategyByName(name)
 		if err != nil {
 			return nil, err
 		}
-		run, err := runMix(cfg, spec, standardMix(xapianLoad, 0.20, 0.20, "stream"), f, core.Options{})
+		futs[i] = runMixAsync(p, cfg, spec, standardMix(xapianLoad, 0.20, 0.20, "stream"), f, core.Options{})
+	}
+	for i, name := range names {
+		run, err := futs[i].wait()
 		if err != nil {
 			return nil, err
 		}

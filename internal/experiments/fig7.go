@@ -32,6 +32,20 @@ func runFig7(cfg RunConfig) (*Result, error) {
 		loads = []float64{0.10, 0.50, 0.85, 1.10}
 		coreCounts = []int{1, 4}
 	}
+	p := newPool(cfg)
+	futs := make(map[string][][]*future[float64], len(apps))
+	for _, name := range apps {
+		cells := make([][]*future[float64], len(loads))
+		for i, load := range loads {
+			cells[i] = make([]*future[float64], len(coreCounts))
+			for j, cores := range coreCounts {
+				cells[i][j] = submit(p, func() (float64, error) {
+					return soloP95(cfg, name, load, cores)
+				})
+			}
+		}
+		futs[name] = cells
+	}
 	for _, name := range apps {
 		app := workload.MustLC(name)
 		tab := Table{
@@ -42,10 +56,10 @@ func runFig7(cfg RunConfig) (*Result, error) {
 		for _, c := range coreCounts {
 			tab.Columns = append(tab.Columns, fmt.Sprintf("%d cores", c))
 		}
-		for _, load := range loads {
+		for i, load := range loads {
 			row := []string{fmtPct(load)}
-			for _, cores := range coreCounts {
-				p95, err := soloP95(cfg, name, load, cores)
+			for j := range coreCounts {
+				p95, err := futs[name][i][j].wait()
 				if err != nil {
 					return nil, err
 				}

@@ -52,28 +52,42 @@ func runHeadline(cfg RunConfig) (*Result, error) {
 	}
 	results := map[string]*agg{}
 	order := []string{"parties", "clite", "arq"}
+	p := newPool(cfg)
+	type cell struct {
+		fut *future[*core.Result]
+		low bool
+	}
+	futs := make(map[string][]cell, len(order))
 	for _, name := range order {
 		f, err := StrategyByName(name)
 		if err != nil {
 			return nil, err
 		}
-		a := &agg{}
 		for rep := 0; rep < repeats; rep++ {
 			repCfg := cfg
 			repCfg.Seed = cfg.Seed + int64(rep)*101
 			for i, g := range grid {
-				run, err := runMix(repCfg, machine.DefaultSpec(),
-					standardMix(g.xapian, g.fixed, g.fixed, "stream"), f, core.Options{})
-				if err != nil {
-					return nil, err
-				}
-				a.yield += run.Yield
-				a.es += run.MeanES
-				a.n++
-				if lowLoad[i] {
-					a.ipc += appIPC(run, "stream")
-					a.nIPC++
-				}
+				futs[name] = append(futs[name], cell{
+					fut: runMixAsync(p, repCfg, machine.DefaultSpec(),
+						standardMix(g.xapian, g.fixed, g.fixed, "stream"), f, core.Options{}),
+					low: lowLoad[i],
+				})
+			}
+		}
+	}
+	for _, name := range order {
+		a := &agg{}
+		for _, c := range futs[name] {
+			run, err := c.fut.wait()
+			if err != nil {
+				return nil, err
+			}
+			a.yield += run.Yield
+			a.es += run.MeanES
+			a.n++
+			if c.low {
+				a.ipc += appIPC(run, "stream")
+				a.nIPC++
 			}
 		}
 		a.yield /= float64(a.n)

@@ -48,11 +48,19 @@ func runExtHeracles(cfg RunConfig) (*Result, error) {
 		tab.Columns = append(tab.Columns,
 			fmtPct(l)+" E_LC", fmtPct(l)+" E_BE", fmtPct(l)+" E_S")
 	}
-	for _, f := range strategies {
-		row := []string{f.Name}
-		for _, l := range loads {
-			run, err := runMix(cfg, machine.DefaultSpec(),
+	p := newPool(cfg)
+	futs := make([][]*future[*core.Result], len(strategies))
+	for si, f := range strategies {
+		futs[si] = make([]*future[*core.Result], len(loads))
+		for li, l := range loads {
+			futs[si][li] = runMixAsync(p, cfg, machine.DefaultSpec(),
 				standardMix(l, 0.20, 0.20, "stream"), f, core.Options{})
+		}
+	}
+	for si, f := range strategies {
+		row := []string{f.Name}
+		for li := range loads {
+			run, err := futs[si][li].wait()
 			if err != nil {
 				return nil, err
 			}

@@ -70,6 +70,7 @@ func runLoadSweep(cfg RunConfig, id string, sw sweepSpec) (*Result, error) {
 		opts = core.Options{EpochMs: 500, WarmupMs: 10_000, DurationMs: 40_000}
 	}
 
+	p := newPool(cfg)
 	for _, fixed := range fixedLoads {
 		entTab := Table{
 			Caption: fmt.Sprintf("entropy vs %s load (fixed LC loads %s)", sw.varApp, fmtPct(fixed)),
@@ -84,19 +85,27 @@ func runLoadSweep(cfg RunConfig, id string, sw sweepSpec) (*Result, error) {
 			entTab.Columns = append(entTab.Columns, fmtPct(l))
 			latTab.Columns = append(latTab.Columns, fmtPct(l))
 		}
-		for _, f := range strategies {
-			rows := map[string][]string{
-				"E_LC": {f.Name, "E_LC"}, "E_BE": {f.Name, "E_BE"}, "E_S": {f.Name, "E_S"},
-				"p95": {f.Name, "p95"}, "IPC": {f.Name, "IPC"},
-			}
-			for _, l := range varLoads {
+		// One job per (strategy, load) cell of this fixed-load block.
+		futs := make([][]*future[*core.Result], len(strategies))
+		for si, f := range strategies {
+			futs[si] = make([]*future[*core.Result], len(varLoads))
+			for li, l := range varLoads {
 				apps := []sim.AppConfig{
 					lcAt(sw.varApp, l),
 					lcAt(sw.fixedApps[0], fixed),
 					lcAt(sw.fixedApps[1], fixed),
 					beApp(sw.be),
 				}
-				run, err := runMix(cfg, machine.DefaultSpec(), apps, f, opts)
+				futs[si][li] = runMixAsync(p, cfg, machine.DefaultSpec(), apps, f, opts)
+			}
+		}
+		for si, f := range strategies {
+			rows := map[string][]string{
+				"E_LC": {f.Name, "E_LC"}, "E_BE": {f.Name, "E_BE"}, "E_S": {f.Name, "E_S"},
+				"p95": {f.Name, "p95"}, "IPC": {f.Name, "IPC"},
+			}
+			for li, l := range varLoads {
+				run, err := futs[si][li].wait()
 				if err != nil {
 					return nil, fmt.Errorf("%s %s load %.0f%%: %w", id, f.Name, 100*l, err)
 				}

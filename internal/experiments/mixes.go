@@ -81,7 +81,10 @@ func runMix(cfg RunConfig, spec machine.Spec, apps []sim.AppConfig, f StrategyFa
 	if err != nil {
 		return nil, err
 	}
-	if opts.EpochMs == 0 {
+	// Apply the run mode's horizons only when the caller set neither; a
+	// custom epoch alone (e.g. a monitoring-interval sweep) must not make
+	// the run silently ignore cfg.Quick.
+	if opts.WarmupMs == 0 && opts.DurationMs == 0 {
 		warm, dur := horizons(cfg)
 		opts.WarmupMs, opts.DurationMs = warm, dur
 	}

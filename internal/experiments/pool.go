@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"runtime"
+
+	"ahq/internal/core"
+	"ahq/internal/machine"
+	"ahq/internal/sim"
+)
+
+// The experiment harness is an embarrassingly parallel sweep: every row of
+// every table is one independent, seed-deterministic engine + controller
+// run (sim.Engine is "not safe for concurrent use" per engine, but separate
+// engines share nothing mutable). A pool fans those runs out over a bounded
+// set of workers while the runner collects the futures in declaration
+// order, so the rendered output is byte-identical to a sequential run at
+// any parallelism level.
+
+// pool bounds how many simulation jobs run simultaneously for one runner
+// invocation.
+type pool struct {
+	sem chan struct{}
+}
+
+// newPool sizes the executor from the run configuration: Parallel workers,
+// or runtime.NumCPU() when Parallel <= 0 (1 disables concurrency).
+func newPool(cfg RunConfig) *pool {
+	n := cfg.Parallel
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	return &pool{sem: make(chan struct{}, n)}
+}
+
+// future is the pending result of a submitted job.
+type future[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// submit schedules fn on the pool and returns its future. Jobs start in
+// submission order as workers free up; results are read back with wait.
+func submit[T any](p *pool, fn func() (T, error)) *future[T] {
+	f := &future[T]{done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		f.val, f.err = fn()
+	}()
+	return f
+}
+
+// wait blocks until the job finishes and returns its result.
+func (f *future[T]) wait() (T, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// runMixAsync submits one runMix invocation to the pool.
+func runMixAsync(p *pool, cfg RunConfig, spec machine.Spec, apps []sim.AppConfig, f StrategyFactory, opts core.Options) *future[*core.Result] {
+	return submit(p, func() (*core.Result, error) {
+		return runMix(cfg, spec, apps, f, opts)
+	})
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolPreservesSubmissionOrderResults(t *testing.T) {
+	p := newPool(RunConfig{Parallel: 4})
+	var futs []*future[int]
+	for i := 0; i < 32; i++ {
+		futs = append(futs, submit(p, func() (int, error) { return i * i, nil }))
+	}
+	for i, f := range futs {
+		v, err := f.wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i*i {
+			t.Errorf("job %d returned %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestPoolPropagatesErrors(t *testing.T) {
+	p := newPool(RunConfig{Parallel: 2})
+	boom := errors.New("boom")
+	ok := submit(p, func() (string, error) { return "fine", nil })
+	bad := submit(p, func() (string, error) { return "", boom })
+	if v, err := ok.wait(); err != nil || v != "fine" {
+		t.Errorf("ok job: %q, %v", v, err)
+	}
+	if _, err := bad.wait(); !errors.Is(err, boom) {
+		t.Errorf("bad job err = %v", err)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := newPool(RunConfig{Parallel: workers})
+	var running, peak atomic.Int32
+	var mu sync.Mutex
+	var futs []*future[struct{}]
+	for i := 0; i < 24; i++ {
+		futs = append(futs, submit(p, func() (struct{}, error) {
+			n := running.Add(1)
+			mu.Lock()
+			if n > peak.Load() {
+				peak.Store(n)
+			}
+			mu.Unlock()
+			running.Add(-1)
+			return struct{}{}, nil
+		}))
+	}
+	for _, f := range futs {
+		if _, err := f.wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := peak.Load(); got > workers {
+		t.Errorf("observed %d concurrent jobs, cap is %d", got, workers)
+	}
+}
+
+// The pool must not change what a runner renders: the same experiment at
+// parallelism 1 and 4 yields byte-identical tables. (Runs under -race, this
+// also exercises the fan-out for data races.)
+func TestRunnerDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs controller sweeps; not -short")
+	}
+	for _, id := range []string{"table2", "fig5", "ablation-interval"} {
+		d, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		render := func(parallel int) string {
+			res, err := d.Run(RunConfig{Seed: 42, Quick: true, Parallel: parallel})
+			if err != nil {
+				t.Fatalf("%s parallel=%d: %v", id, parallel, err)
+			}
+			var b strings.Builder
+			res.Fprint(&b)
+			return b.String()
+		}
+		if seq, par := render(1), render(4); seq != par {
+			t.Errorf("%s renders differently at parallel 1 vs 4:\n--- seq ---\n%s\n--- par ---\n%s", id, seq, par)
+		}
+	}
+}
+
+func TestTableRenderingAlignsRunes(t *testing.T) {
+	tab := Table{
+		Columns: []string{"app", "E_S"},
+	}
+	tab.AddRow("café-détour", "0.1") // 11 runes, 13 bytes
+	tab.AddRow("plain-ascii", "0.2") // 11 runes, 11 bytes
+	var b strings.Builder
+	tab.Fprint(&b)
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	// Both data rows pad the first column to the same rune width, so the
+	// second column starts at the same rune offset in every row.
+	var offsets []int
+	for _, line := range lines[2:] {
+		idx := strings.Index(line, "0.")
+		if idx < 0 {
+			t.Fatalf("row %q missing value cell", line)
+		}
+		offsets = append(offsets, len([]rune(line[:idx])))
+	}
+	if offsets[0] != offsets[1] {
+		t.Errorf("value column misaligned: rune offsets %v\n%s", offsets, b.String())
+	}
+	if !strings.Contains(fmt.Sprint(lines), "café-détour") {
+		t.Error("non-ASCII cell lost")
+	}
+}

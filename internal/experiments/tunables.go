@@ -47,26 +47,41 @@ func runAblationTunables(cfg RunConfig) (*Result, error) {
 		return nil, err
 	}
 	warm, dur := horizons(cfg)
-	for _, v := range variants {
+	coreCounts := []int{6, 7, 8}
+	p := newPool(cfg)
+	futs := make([][]*future[float64], len(variants))
+	for vi, v := range variants {
 		tun := base
 		v.mut(&tun)
-		var es [3]float64
-		for i, cores := range []int{6, 7, 8} {
-			engine, err := sim.New(sim.Config{
-				Spec:     machine.DefaultSpec().Shrink(cores, 20),
-				Seed:     cfg.Seed,
-				Tunables: tun,
-				Apps:     standardMix(0.20, 0.20, 0.20, "fluidanimate"),
+		futs[vi] = make([]*future[float64], len(coreCounts))
+		for i, cores := range coreCounts {
+			futs[vi][i] = submit(p, func() (float64, error) {
+				engine, err := sim.New(sim.Config{
+					Spec:     machine.DefaultSpec().Shrink(cores, 20),
+					Seed:     cfg.Seed,
+					Tunables: tun,
+					Apps:     standardMix(0.20, 0.20, 0.20, "fluidanimate"),
+				})
+				if err != nil {
+					return 0, err
+				}
+				run, err := core.Run(engine, unmanaged.New(cfg.Seed),
+					core.Options{EpochMs: 500, WarmupMs: warm, DurationMs: dur})
+				if err != nil {
+					return 0, err
+				}
+				return run.MeanES, nil
 			})
+		}
+	}
+	for vi, v := range variants {
+		var es [3]float64
+		for i := range coreCounts {
+			val, err := futs[vi][i].wait()
 			if err != nil {
 				return nil, err
 			}
-			run, err := core.Run(engine, unmanaged.New(cfg.Seed),
-				core.Options{EpochMs: 500, WarmupMs: warm, DurationMs: dur})
-			if err != nil {
-				return nil, err
-			}
-			es[i] = run.MeanES
+			es[i] = val
 		}
 		monotone := "yes"
 		if !(es[0] > es[1] && es[1] > es[2]) {

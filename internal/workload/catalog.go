@@ -87,14 +87,29 @@ var beCatalog = map[string]BEApp{
 
 // lcCache memoises the calibrated models: fitting a term mix runs a short
 // Monte-Carlo bisection, and sweeps construct applications thousands of
-// times.
-var lcCache sync.Map // name -> LCApp
+// times — concurrently, since the experiment harness fans runs out over a
+// worker pool. Each name calibrates exactly once behind a sync.Once, so
+// racing callers share one model (and one read-only *TermMix) instead of
+// repeating the fit.
+var lcCache sync.Map // name -> *lcCacheEntry
 
-// LCByName returns the calibrated model of one LC application.
+type lcCacheEntry struct {
+	once sync.Once
+	app  LCApp
+	err  error
+}
+
+// LCByName returns the calibrated model of one LC application. It is safe
+// for concurrent use.
 func LCByName(name string) (LCApp, error) {
-	if v, ok := lcCache.Load(name); ok {
-		return v.(LCApp), nil
-	}
+	v, _ := lcCache.LoadOrStore(name, &lcCacheEntry{})
+	e := v.(*lcCacheEntry)
+	e.once.Do(func() { e.app, e.err = calibrateCatalog(name) })
+	return e.app, e.err
+}
+
+// calibrateCatalog builds one LC model from its catalog entry.
+func calibrateCatalog(name string) (LCApp, error) {
 	s, ok := lcCatalog[name]
 	if !ok {
 		return LCApp{}, fmt.Errorf("workload: unknown LC app %q", name)
@@ -115,7 +130,6 @@ func LCByName(name string) (LCApp, error) {
 			return LCApp{}, err
 		}
 	}
-	lcCache.Store(name, app)
 	return app, nil
 }
 
