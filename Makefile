@@ -1,16 +1,33 @@
 # Ah-Q reproduction build targets.
+#
+#   all        - tier-1 gate: build + vet + lint + test + race
+#   build      - compile every package
+#   vet        - go vet
+#   lint       - project static analysis (cmd/ahqlint): determinism,
+#                unitcheck, floatcmp, seedplumb, errwrap (docs/lint.md)
+#   test       - full test suite
+#   test-short - skip the long-horizon tests
+#   race       - test suite under the race detector
+#   bench      - one testing.B entry per paper table/figure
+#   results    - regenerate every paper artifact into results/
+#   fuzz       - fuzz the percentile estimators
+#   clean      - remove generated results
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench results fuzz clean
+.PHONY: all build vet lint test test-short race bench results fuzz clean
 
-all: build vet test race
+all: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific invariants; see docs/lint.md for the analyzer list.
+lint:
+	$(GO) run ./cmd/ahqlint ./...
 
 test:
 	$(GO) test ./...

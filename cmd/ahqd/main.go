@@ -49,6 +49,7 @@ import (
 	"ahq/internal/sched/static"
 	"ahq/internal/sim"
 	"ahq/internal/trace"
+	"ahq/internal/units"
 	"ahq/internal/workload"
 )
 
@@ -210,12 +211,12 @@ func parseMix(s string) ([]sim.AppConfig, map[string]*mutableLoad, error) {
 		if path, isTrace := strings.CutPrefix(fracStr, "@"); isTrace {
 			f, err := os.Open(path)
 			if err != nil {
-				return nil, nil, fmt.Errorf("LC app %q: %v", name, err)
+				return nil, nil, fmt.Errorf("LC app %q: %w", name, err)
 			}
 			profile, err := trace.ReadCSV(f)
 			f.Close()
 			if err != nil {
-				return nil, nil, fmt.Errorf("LC app %q: %v", name, err)
+				return nil, nil, fmt.Errorf("LC app %q: %w", name, err)
 			}
 			apps = append(apps, sim.AppConfig{LC: &app, Load: profile})
 			continue
@@ -247,7 +248,7 @@ func parseMix(s string) ([]sim.AppConfig, map[string]*mutableLoad, error) {
 
 // loop advances one monitoring epoch at a time.
 func (d *daemon) loop(fast bool) {
-	interval := time.Duration(d.epochMs * float64(time.Millisecond))
+	interval := units.MsToDuration(d.epochMs)
 	for {
 		if !fast {
 			time.Sleep(interval)

@@ -103,33 +103,33 @@ func parseCSV(in io.Reader) ([]entropy.LCSample, []entropy.BESample, error) {
 		case "lc":
 			ideal, err := get(row, "ideal_ms")
 			if err != nil {
-				return nil, nil, fmt.Errorf("row %d (%s): %v", n+2, name, err)
+				return nil, nil, fmt.Errorf("row %d (%s): %w", n+2, name, err)
 			}
 			meas, err := get(row, "measured_ms")
 			if err != nil {
-				return nil, nil, fmt.Errorf("row %d (%s): %v", n+2, name, err)
+				return nil, nil, fmt.Errorf("row %d (%s): %w", n+2, name, err)
 			}
 			target, err := get(row, "target_ms")
 			if err != nil {
-				return nil, nil, fmt.Errorf("row %d (%s): %v", n+2, name, err)
+				return nil, nil, fmt.Errorf("row %d (%s): %w", n+2, name, err)
 			}
 			s := entropy.LCSample{Name: name, IdealMs: ideal, MeasuredMs: meas, TargetMs: target}
 			if err := s.Validate(); err != nil {
-				return nil, nil, fmt.Errorf("row %d: %v", n+2, err)
+				return nil, nil, fmt.Errorf("row %d: %w", n+2, err)
 			}
 			lc = append(lc, s)
 		case "be":
 			solo, err := get(row, "solo_ipc")
 			if err != nil {
-				return nil, nil, fmt.Errorf("row %d (%s): %v", n+2, name, err)
+				return nil, nil, fmt.Errorf("row %d (%s): %w", n+2, name, err)
 			}
 			meas, err := get(row, "measured_ipc")
 			if err != nil {
-				return nil, nil, fmt.Errorf("row %d (%s): %v", n+2, name, err)
+				return nil, nil, fmt.Errorf("row %d (%s): %w", n+2, name, err)
 			}
 			s := entropy.BESample{Name: name, SoloIPC: solo, MeasuredIPC: meas}
 			if err := s.Validate(); err != nil {
-				return nil, nil, fmt.Errorf("row %d: %v", n+2, err)
+				return nil, nil, fmt.Errorf("row %d: %w", n+2, err)
 			}
 			be = append(be, s)
 		default:

@@ -1,0 +1,56 @@
+// Command ahqlint runs the project's static-analysis suite (internal/lint)
+// over the given package patterns and reports every violation of the
+// determinism, unit, float-comparison, seed-plumbing, and error-wrapping
+// invariants.
+//
+// Usage:
+//
+//	ahqlint ./...
+//	ahqlint -list
+//
+// Exit status is 0 when the tree is clean, 1 when violations were found,
+// and 2 on usage or load errors. Findings can be suppressed with a
+// justified annotation on the offending line (or the line above):
+//
+//	//ahqlint:allow <analyzer> <reason>
+//
+// See docs/lint.md for the analyzer catalogue and rationale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ahq/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ahqlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.RunAnalyzers(pkgs, lint.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ahqlint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -30,6 +30,7 @@ func NewCurve(points []Point) (*Curve, error) {
 	ps := append([]Point(nil), points...)
 	sort.Slice(ps, func(i, j int) bool { return ps[i].Resource < ps[j].Resource })
 	for i := 1; i < len(ps); i++ {
+		//ahqlint:allow floatcmp exact duplicate detection on caller-supplied amounts, not computed values
 		if ps[i].Resource == ps[i-1].Resource {
 			return nil, fmt.Errorf("entropy: duplicate resource amount %.4g in curve", ps[i].Resource)
 		}
@@ -67,6 +68,7 @@ func (c *Curve) ResourceFor(es float64) (float64, error) {
 	for i := 1; i < len(ps); i++ {
 		if ps[i].ES <= es {
 			a, b := ps[i-1], ps[i]
+			//ahqlint:allow floatcmp guards the exact-zero denominator of the interpolation below
 			if a.ES == b.ES {
 				return b.Resource, nil
 			}

@@ -1,0 +1,88 @@
+package lint_test
+
+import (
+	"testing"
+
+	"ahq/internal/lint"
+	"ahq/internal/lint/linttest"
+)
+
+// Each analyzer is checked against its golden fixture package: every
+// deliberately seeded violation must be reported (with a message the
+// fixture's `// want` regexp matches) and every allowlisted or clean
+// line must stay silent.
+
+func TestDeterminismFixture(t *testing.T) {
+	linttest.Run(t, ".", lint.Determinism, "./testdata/src/determinism")
+}
+
+func TestUnitCheckFixture(t *testing.T) {
+	linttest.Run(t, ".", lint.UnitCheck, "./testdata/src/unitcheck")
+}
+
+func TestFloatCmpFixture(t *testing.T) {
+	linttest.Run(t, ".", lint.FloatCmp, "./testdata/src/floatcmp")
+}
+
+func TestSeedPlumbFixture(t *testing.T) {
+	linttest.Run(t, ".", lint.SeedPlumb, "./testdata/src/seedplumb")
+}
+
+func TestErrWrapFixture(t *testing.T) {
+	linttest.Run(t, ".", lint.ErrWrap, "./testdata/src/errwrap")
+}
+
+// TestEachFixtureViolationHasOneAnalyzer runs the FULL suite over every
+// fixture and checks that each seeded violation is reported by exactly
+// one analyzer: fixtures encode the expectations of their own analyzer,
+// so any cross-analyzer report would surface as an unexpected finding in
+// the per-analyzer runs above, and any overlap would double-report here.
+func TestEachFixtureViolationHasOneAnalyzer(t *testing.T) {
+	pkgs, err := lint.Load(".", "./testdata/src/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunAnalyzers(pkgs, lint.All())
+	seen := make(map[string]string) // file:line:col -> analyzer
+	for _, d := range diags {
+		key := d.Pos.String()
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%s reported by both %s and %s", key, prev, d.Analyzer)
+		}
+		seen[key] = d.Analyzer
+	}
+	if len(diags) == 0 {
+		t.Fatal("full suite found no violations in fixtures; expected the seeded ones")
+	}
+}
+
+// TestScoping pins the AppliesTo package scoping: determinism and
+// floatcmp are restricted to the simulation core, unitcheck exempts
+// internal/units, and seedplumb/errwrap are module-wide.
+func TestScoping(t *testing.T) {
+	cases := []struct {
+		analyzer *lint.Analyzer
+		pkgPath  string
+		want     bool
+	}{
+		{lint.Determinism, "ahq/internal/sim", true},
+		{lint.Determinism, "ahq/internal/sched/clite", true},
+		{lint.Determinism, "ahq/cmd/ahqbench", true},
+		{lint.Determinism, "ahq/internal/workload", false},
+		{lint.Determinism, "ahq/cmd/ahqd", false},
+		{lint.FloatCmp, "ahq/internal/metrics", true},
+		{lint.FloatCmp, "ahq/internal/cluster", false},
+		{lint.UnitCheck, "ahq/internal/units", false},
+		{lint.UnitCheck, "ahq/cmd/ahqd", true},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.AppliesTo(c.pkgPath); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer.Name, c.pkgPath, got, c.want)
+		}
+	}
+	for _, a := range []*lint.Analyzer{lint.SeedPlumb, lint.ErrWrap} {
+		if a.AppliesTo != nil {
+			t.Errorf("%s should be module-wide (AppliesTo == nil)", a.Name)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism forbids sources of run-to-run nondeterminism in the
+// simulation, controller, and experiment packages: wall-clock reads,
+// the global (ambiently seeded) math/rand functions, environment
+// lookups, and map iteration feeding an output sink. PR 1's guarantee —
+// ahqbench stdout is byte-identical at every -parallel level — holds
+// only while these stay out of the simulated paths.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now/time.Since, global math/rand functions, os.Getenv, " +
+		"and map-iteration feeding print/write sinks in deterministic packages",
+	AppliesTo: func(pkgPath string) bool {
+		return pathIn(pkgPath,
+			"ahq/internal/sim",
+			"ahq/internal/core",
+			"ahq/internal/entropy",
+			"ahq/internal/sched",
+			"ahq/internal/experiments",
+			"ahq/cmd/ahqbench",
+		)
+	},
+	Run: runDeterminism,
+}
+
+// randConstructors are the top-level math/rand functions that build an
+// explicitly seeded generator; they are the approved pattern, everything
+// else at rand package scope draws from the ambient global source.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(pass *Pass) {
+	walk(pass.Pkg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkForbiddenCall(pass, n)
+		case *ast.RangeStmt:
+			checkMapRangeSink(pass, n)
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves a call expression to the package-level function it
+// invokes, or nil for methods, locals, conversions, and builtins.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.Pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+func checkForbiddenCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock; simulation time must come from the engine (NowMs)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"rand.%s draws from the ambient global source; use a rand.New(rand.NewSource(seed)) stream plumbed from config", fn.Name())
+		}
+	case "os":
+		if fn.Name() == "Getenv" || fn.Name() == "LookupEnv" {
+			pass.Reportf(call.Pos(),
+				"os.%s makes behaviour depend on the environment; thread configuration through flags or Config fields", fn.Name())
+		}
+	}
+}
+
+// sinkMethods are writer-method names that serialise data; reached from
+// inside a map-range they emit in nondeterministic order.
+var sinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+func checkMapRangeSink(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Pkg.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass, call); fn != nil && fn.Pkg().Path() == "fmt" &&
+			(fn.Name() == "Print" || fn.Name() == "Printf" || fn.Name() == "Println" ||
+				fn.Name() == "Fprint" || fn.Name() == "Fprintf" || fn.Name() == "Fprintln") {
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside map iteration emits in nondeterministic order; collect keys and sort first", fn.Name())
+			return true
+		}
+		// Writer methods: buf.WriteString(...) and friends.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if m, ok := pass.Pkg.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+				if sig, ok := m.Type().(*types.Signature); ok && sig.Recv() != nil && sinkMethods[m.Name()] {
+					pass.Reportf(call.Pos(),
+						"%s inside map iteration writes in nondeterministic order; collect keys and sort first", m.Name())
+				}
+			}
+		}
+		return true
+	})
+}

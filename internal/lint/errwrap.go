@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrWrap requires fmt.Errorf to wrap error operands with %w. Formatting
+// an error with %v or %s flattens it to text, severing errors.Is/As
+// chains; the rendered message is identical either way, so %w is a
+// strict improvement.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf must use %w, not %v or %s, for error operands",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	walk(pass.Pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+			return true
+		}
+		format, ok := constFormat(pass, call.Args[0])
+		if !ok {
+			return true
+		}
+		verbs := parseVerbs(format)
+		for i, verb := range verbs {
+			argIdx := 1 + i
+			if argIdx >= len(call.Args) || verb == 'w' {
+				continue
+			}
+			arg := call.Args[argIdx]
+			t := pass.Pkg.TypesInfo.TypeOf(arg)
+			if t == nil || !types.Implements(t, errType) {
+				continue
+			}
+			if verb == 'v' || verb == 's' || verb == 'q' {
+				pass.Reportf(arg.Pos(),
+					"error formatted with %%%c; use %%w so errors.Is/As can unwrap it", verb)
+			}
+		}
+		return true
+	})
+}
+
+// constFormat extracts a compile-time constant format string.
+func constFormat(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Pkg.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// parseVerbs returns the argument-consuming verbs of a format string in
+// order, expanding `*` width/precision into their own slots so verb i
+// always lines up with variadic argument i. Explicit argument indexes
+// (%[n]v) are rare enough here that the parser bails on them.
+func parseVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		if format[i] == '[' {
+			return nil // explicit index: give up rather than misattribute
+		}
+		// Flags, width, precision; '*' consumes an argument slot.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}

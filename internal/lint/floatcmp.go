@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp forbids == and != between floating-point operands in the
+// numeric core. Epoch-level latencies, entropies, and IPC values are
+// accumulated floats; exact equality on them is at best fragile and at
+// worst load-order dependent. The one idiomatic exception is comparing
+// against an exact zero sentinel (counters that are precisely 0.0 when
+// nothing happened), which stays allowed.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "forbid ==/!= between floating-point expressions unless one side " +
+		"is a constant zero sentinel",
+	AppliesTo: func(pkgPath string) bool {
+		return pathIn(pkgPath,
+			"ahq/internal/entropy",
+			"ahq/internal/metrics",
+			"ahq/internal/sim",
+		)
+	},
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	walk(pass.Pkg, func(n ast.Node) bool {
+		cmp, ok := n.(*ast.BinaryExpr)
+		if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pass, cmp.X) || !isFloat(pass, cmp.Y) {
+			return true
+		}
+		if isConstZero(pass, cmp.X) || isConstZero(pass, cmp.Y) {
+			return true
+		}
+		pass.Reportf(cmp.Pos(),
+			"%s between floating-point values; compare against an epsilon or restructure the check", cmp.Op)
+		return true
+	})
+}
+
+func isFloat(pass *Pass, e ast.Expr) bool {
+	t := pass.Pkg.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstZero reports whether e is a compile-time constant equal to zero.
+func isConstZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.Kind() != constant.Unknown && constant.Sign(tv.Value) == 0
+}

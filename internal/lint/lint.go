@@ -1,0 +1,184 @@
+// Package lint implements ahqlint, the project's static-analysis suite.
+//
+// The reproduction's headline guarantee — every paper table and figure is
+// bit-reproducible at any -parallel level — rests on a handful of coding
+// invariants: no wall-clock reads or ambient randomness in simulation
+// paths, no map-iteration order leaking into output, explicit seed
+// plumbing, no exact float equality on computed epoch values, and no unit
+// confusion between milliseconds and seconds. This package enforces those
+// invariants mechanically with a small go/analysis-style framework built
+// on the standard library (go/ast, go/types, and `go list -export`
+// export data), so the checks run offline with no external dependencies.
+//
+// A finding can be suppressed with a justification comment on the
+// offending line or the line directly above it:
+//
+//	//ahqlint:allow <analyzer> <reason>
+//
+// See docs/lint.md for the analyzer catalogue.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //ahqlint:allow annotations. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports
+	// and why the invariant matters.
+	Doc string
+	// AppliesTo reports whether the analyzer checks the package with
+	// the given import path; nil means every package. Test harnesses
+	// bypass this so fixtures under testdata/ are always checked.
+	AppliesTo func(pkgPath string) bool
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// allowRe matches suppression annotations. The analyzer name is captured;
+// everything after it is the (required by convention, unchecked) reason.
+var allowRe = regexp.MustCompile(`^//ahqlint:allow ([a-z]+)\b`)
+
+// allowedLines maps analyzer name -> file:line keys on which findings are
+// suppressed. An annotation suppresses its own line and the next one, so
+// it works both as a trailing comment and on a line of its own above the
+// finding.
+func allowedLines(pkg *Package) map[string]map[string]bool {
+	allowed := make(map[string]map[string]bool)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := allowed[m[1]]
+				if lines == nil {
+					lines = make(map[string]bool)
+					allowed[m[1]] = lines
+				}
+				lines[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = true
+				lines[fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)] = true
+			}
+		}
+	}
+	return allowed
+}
+
+// RunAnalyzers applies every analyzer to every package it covers,
+// filters out annotated findings, and returns the remainder sorted by
+// position. Analyzer scoping (AppliesTo) is honoured here; use
+// RunAnalyzer to check one package unconditionally.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.PkgPath) {
+				continue
+			}
+			out = append(out, RunAnalyzerFiltered(pkg, a)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// RunAnalyzer applies one analyzer to one package, ignoring AppliesTo and
+// //ahqlint:allow annotations. Test fixtures use it directly.
+func RunAnalyzer(pkg *Package, a *Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+	return diags
+}
+
+// RunAnalyzerFiltered applies one analyzer to one package, ignoring
+// AppliesTo but honouring //ahqlint:allow annotations — the behaviour the
+// driver composes over every package/analyzer pair.
+func RunAnalyzerFiltered(pkg *Package, a *Analyzer) []Diagnostic {
+	allowed := allowedLines(pkg)
+	var out []Diagnostic
+	for _, d := range RunAnalyzer(pkg, a) {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if !allowed[a.Name][key] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		UnitCheck,
+		FloatCmp,
+		SeedPlumb,
+		ErrWrap,
+	}
+}
+
+// pathIn reports whether pkgPath is one of the listed import paths or a
+// sub-package of one.
+func pathIn(pkgPath string, roots ...string) bool {
+	for _, r := range roots {
+		if pkgPath == r || strings.HasPrefix(pkgPath, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// walk visits every node of every file in the package.
+func walk(pkg *Package, visit func(ast.Node) bool) {
+	for _, f := range pkg.Syntax {
+		ast.Inspect(f, visit)
+	}
+}

@@ -1,0 +1,93 @@
+// Package linttest runs an analyzer over a golden fixture package and
+// compares its findings against `// want` expectations embedded in the
+// fixture source, in the style of golang.org/x/tools' analysistest (which
+// this module cannot depend on — the build is fully offline).
+//
+// A fixture line expecting a finding carries a trailing comment:
+//
+//	_ = time.Now() // want `time\.Now`
+//
+// Each backquoted or double-quoted string is a regular expression that
+// must match the message of exactly one finding reported on that line.
+// Lines with //ahqlint:allow annotations exercise the suppression path
+// and must therefore produce no finding.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ahq/internal/lint"
+)
+
+// wantRe pulls the expectation strings out of a `// want` comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run loads the fixture package at pattern (relative to dir, typically
+// "./testdata/src/<analyzer>"), applies the analyzer with annotation
+// filtering but without package scoping, and reports any mismatch
+// between findings and `// want` expectations as test failures.
+func Run(t *testing.T, dir string, a *lint.Analyzer, pattern string) {
+	t.Helper()
+	pkgs, err := lint.Load(dir, pattern)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pattern, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s loaded %d packages, want 1", pattern, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					expr := m[1]
+					if expr == "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, expr, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range lint.RunAnalyzerFiltered(pkg, a) {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected finding matching %q, got none", key, w.re)
+			}
+		}
+	}
+}

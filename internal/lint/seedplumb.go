@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SeedPlumb requires RNG seeds to be named: the argument of
+// rand.NewSource must flow from a constant with a declaration site, a
+// config/struct field, or a function parameter — never an inline
+// literal. An anonymous 0x5EED buried in a function body cannot be
+// found, documented, or varied from configuration, and duplicating one
+// silently correlates streams that were meant to be independent.
+var SeedPlumb = &Analyzer{
+	Name: "seedplumb",
+	Doc: "require rand.NewSource seeds to come from a named constant, " +
+		"field, or parameter instead of an inline literal",
+	Run: runSeedPlumb,
+}
+
+func runSeedPlumb(pass *Pass) {
+	walk(pass.Pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Name() != "NewSource" {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+			return true
+		}
+		if len(call.Args) >= 1 && isInlineLiteral(pass, call.Args[0]) {
+			pass.Reportf(call.Args[0].Pos(),
+				"inline literal seed; plumb it through a named constant, config field, or parameter")
+		}
+		return true
+	})
+}
+
+// isInlineLiteral reports whether e is built purely from literals —
+// 0x5EED, -1, 40*1000, int64(7) — with no named value anywhere inside.
+// A named constant is an *ast.Ident and therefore not inline.
+func isInlineLiteral(pass *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.ParenExpr:
+		return isInlineLiteral(pass, e.X)
+	case *ast.UnaryExpr:
+		return isInlineLiteral(pass, e.X)
+	case *ast.BinaryExpr:
+		return isInlineLiteral(pass, e.X) && isInlineLiteral(pass, e.Y)
+	case *ast.CallExpr:
+		// Conversions like int64(123) stay literal; real function calls
+		// (seedFor("x")) produce a value with provenance and do not.
+		if len(e.Args) == 1 {
+			if tv, ok := pass.Pkg.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+				return isInlineLiteral(pass, e.Args[0])
+			}
+		}
+	}
+	return false
+}

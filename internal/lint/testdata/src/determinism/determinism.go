@@ -1,0 +1,58 @@
+// Package determinism is a golden fixture for the determinism analyzer.
+// It compiles but deliberately violates every rule once, with // want
+// expectations on each offending line.
+package determinism
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+const namedSeed int64 = 7
+
+func clocks() time.Duration {
+	t0 := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func globals() {
+	_ = rand.Int()     // want `ambient global source`
+	_ = rand.Float64() // want `ambient global source`
+	rand.Seed(1)       // want `ambient global source`
+	_ = os.Getenv("X") // want `environment`
+}
+
+// seeded is the approved pattern: an explicit generator from a named seed.
+func seeded() float64 {
+	rng := rand.New(rand.NewSource(namedSeed))
+	return rng.Float64()
+}
+
+func mapSinks(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration`
+	}
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want `map iteration`
+	}
+	// Sorting the keys first is the approved pattern.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k, m[k])
+	}
+}
+
+// timingAllowed exercises the suppression path: no finding expected.
+func timingAllowed() time.Time {
+	return time.Now() //ahqlint:allow determinism fixture-sanctioned wall-clock read
+}

@@ -1,0 +1,33 @@
+// Package errwrap is a golden fixture for the errwrap analyzer.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("boom")
+
+func bad(err error) error {
+	if err != nil {
+		return fmt.Errorf("loading: %v", err) // want `error formatted with %v`
+	}
+	return fmt.Errorf("row %d: %s", 3, errSentinel) // want `error formatted with %s`
+}
+
+func widthFlags(err error) error {
+	// The * consumes an argument slot; the error is still matched to %v.
+	return fmt.Errorf("%*d: %v", 5, 3, err) // want `error formatted with %v`
+}
+
+func good(err error, name string) error {
+	_ = fmt.Errorf("ctx: %w", err)
+	_ = fmt.Errorf("%w: detail %s", errSentinel, name)
+	_ = fmt.Errorf("just text %d%%", 4)
+	return nil
+}
+
+// allowed exercises the suppression path: no finding expected.
+func allowed(err error) error {
+	return fmt.Errorf("flattened deliberately: %v", err) //ahqlint:allow errwrap fixture-sanctioned flatten
+}

@@ -1,0 +1,39 @@
+// Package floatcmp is a golden fixture for the floatcmp analyzer.
+package floatcmp
+
+const eps = 1e-9
+
+func compares(a, b float64, n int) bool {
+	if a == b { // want `== between floating-point values`
+		return true
+	}
+	if a != b { // want `!= between floating-point values`
+		return true
+	}
+	if a == eps { // want `== between floating-point values`
+		return true
+	}
+	// Zero sentinel checks are the sanctioned exception.
+	if a == 0 {
+		return true
+	}
+	if 0.0 != b {
+		return true
+	}
+	// Integer equality is out of scope.
+	if n == 3 {
+		return true
+	}
+	// Epsilon comparison is the approved pattern.
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+// allowed exercises the suppression path: no finding expected.
+func allowed(a, b float64) bool {
+	//ahqlint:allow floatcmp fixture-sanctioned exact comparison
+	return a == b
+}

@@ -1,0 +1,28 @@
+// Package seedplumb is a golden fixture for the seedplumb analyzer.
+package seedplumb
+
+import "math/rand"
+
+const namedSeed int64 = 42
+
+type cfg struct{ Seed int64 }
+
+func inline() {
+	_ = rand.New(rand.NewSource(0x5EED)) // want `inline literal seed`
+	_ = rand.NewSource(40 * 1000)        // want `inline literal seed`
+	_ = rand.NewSource(int64(7))         // want `inline literal seed`
+	_ = rand.NewSource(-(1 << 10))       // want `inline literal seed`
+}
+
+func plumbed(c cfg, seed int64) {
+	_ = rand.NewSource(namedSeed)
+	_ = rand.NewSource(c.Seed)
+	_ = rand.NewSource(seed)
+	_ = rand.NewSource(seed + 1)
+	_ = rand.NewSource(int64(c.Seed) ^ namedSeed)
+}
+
+// allowed exercises the suppression path: no finding expected.
+func allowed() {
+	_ = rand.NewSource(99) //ahqlint:allow seedplumb fixture-sanctioned literal
+}

@@ -1,0 +1,39 @@
+// Package unitcheck is a golden fixture for the unitcheck analyzer.
+package unitcheck
+
+import "time"
+
+type cfg struct {
+	EpochMs float64
+	WindowS float64
+}
+
+func mixes(durMs, timeS float64, c cfg) {
+	_ = durMs + timeS          // want `mixing durMs \(milliseconds\) with timeS \(seconds\)`
+	_ = durMs < timeS          // want `mixing`
+	if c.EpochMs > c.WindowS { // want `mixing EpochMs \(milliseconds\) with WindowS \(seconds\)`
+		return
+	}
+	durMs = timeS // want `assigning timeS \(seconds\) to durMs \(milliseconds\)`
+	_ = durMs
+
+	// Compound right-hand sides are how conversions are written; they
+	// stay unclassified and unflagged.
+	_ = durMs + 1000*timeS
+	sameMs := durMs
+	_ = sameMs
+
+	// QPS is an initialism, not a seconds suffix.
+	var loadQPS float64
+	_ = durMs + loadQPS
+}
+
+func durations(ms float64) {
+	_ = time.Duration(ms)              // want `bare time\.Duration conversion`
+	_ = time.Duration(5) * time.Second // constant conversions are fine
+}
+
+// allowed exercises the suppression path: no finding expected.
+func allowed(ms float64) time.Duration {
+	return time.Duration(ms) //ahqlint:allow unitcheck fixture-sanctioned bare conversion
+}

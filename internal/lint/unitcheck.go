@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// UnitCheck flags arithmetic, comparisons, and assignments that mix
+// identifiers carrying a milliseconds suffix (WarmupMs, epochMs) with
+// ones carrying a seconds suffix (timeS, durSec), and bare
+// time.Duration conversions that bypass the shared helpers in
+// internal/units. This is the bug class behind PR 1's runMix horizon
+// fix, where an epoch count was gated against a milliseconds budget.
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc: "flag expressions mixing Ms- and Sec-suffixed identifiers and bare " +
+		"time.Duration conversions that skip internal/units helpers",
+	AppliesTo: func(pkgPath string) bool {
+		// internal/units hosts the one sanctioned bare conversion.
+		return pkgPath != "ahq/internal/units"
+	},
+	Run: runUnitCheck,
+}
+
+type unit int
+
+const (
+	unitNone unit = iota
+	unitMs
+	unitSec
+)
+
+func (u unit) String() string {
+	switch u {
+	case unitMs:
+		return "milliseconds"
+	case unitSec:
+		return "seconds"
+	}
+	return "unitless"
+}
+
+// unitOfName classifies an identifier by naming convention. Milliseconds:
+// a trailing "Ms" or "_ms". Seconds: trailing "Sec"/"Secs"/"_s"/"_sec",
+// or a trailing capital S preceded by a lowercase letter (timeS) — the
+// lowercase guard keeps initialisms like QPS out.
+func unitOfName(name string) unit {
+	switch {
+	case strings.HasSuffix(name, "Ms") || strings.HasSuffix(name, "_ms"):
+		return unitMs
+	case strings.HasSuffix(name, "Sec") || strings.HasSuffix(name, "Secs"),
+		strings.HasSuffix(name, "_s") || strings.HasSuffix(name, "_sec"):
+		return unitSec
+	case len(name) >= 2 && name[len(name)-1] == 'S' &&
+		unicode.IsLower(rune(name[len(name)-2])):
+		return unitSec
+	}
+	return unitNone
+}
+
+// unitOf classifies an expression: a plain identifier or a field selector
+// carries its name's unit; parentheses are transparent. Compound
+// expressions are deliberately left unclassified — a conversion like
+// x*1000 is exactly how units are meant to change.
+func unitOf(e ast.Expr) unit {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return unitOf(e.X)
+	case *ast.Ident:
+		return unitOfName(e.Name)
+	case *ast.SelectorExpr:
+		return unitOfName(e.Sel.Name)
+	}
+	return unitNone
+}
+
+var unitMixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func runUnitCheck(pass *Pass) {
+	walk(pass.Pkg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if !unitMixOps[n.Op] {
+				return true
+			}
+			ux, uy := unitOf(n.X), unitOf(n.Y)
+			if ux != unitNone && uy != unitNone && ux != uy {
+				pass.Reportf(n.Pos(),
+					"mixing %s (%s) with %s (%s); convert explicitly before combining",
+					exprName(n.X), ux, exprName(n.Y), uy)
+			}
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				ul, ur := unitOf(n.Lhs[i]), unitOf(n.Rhs[i])
+				if ul != unitNone && ur != unitNone && ul != ur {
+					pass.Reportf(n.Pos(),
+						"assigning %s (%s) to %s (%s); convert explicitly",
+						exprName(n.Rhs[i]), ur, exprName(n.Lhs[i]), ul)
+				}
+			}
+		case *ast.CallExpr:
+			checkDurationConversion(pass, n)
+		}
+		return true
+	})
+}
+
+// checkDurationConversion flags time.Duration(x) for non-constant x.
+// Constant conversions (time.Duration(5)) are fine; converting a runtime
+// value is where ms-vs-ns confusion bites, and internal/units owns that.
+func checkDurationConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Pkg.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != "time" || named.Obj().Name() != "Duration" {
+		return
+	}
+	if arg, ok := pass.Pkg.TypesInfo.Types[call.Args[0]]; ok && arg.Value != nil {
+		return // constant conversion
+	}
+	pass.Reportf(call.Pos(),
+		"bare time.Duration conversion; use units.MsToDuration (internal/units) so the scale is named")
+}
+
+func exprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return exprName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return "expression"
+}

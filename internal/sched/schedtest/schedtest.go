@@ -19,6 +19,14 @@ import (
 // Factory builds a fresh strategy instance for each scenario.
 type Factory func() sched.Strategy
 
+// Scenario seeds for the single-stream harness runs. Named so the
+// telemetry streams are reproducible and visibly distinct per scenario;
+// randomTelemetry sweeps its own seed range instead.
+const (
+	classSubsetSeed int64 = 9
+	tinyNodeSeed    int64 = 4
+)
+
 // Run exercises the factory's strategy against the full conformance suite.
 func Run(t *testing.T, factory Factory) {
 	t.Helper()
@@ -135,7 +143,7 @@ func classSubset(t *testing.T, factory Factory, lcOnly bool) {
 	if err := cur.Validate(spec, names(specs)); err != nil {
 		t.Fatalf("Init invalid: %v\n%s", err, cur)
 	}
-	rng := rand.New(rand.NewSource(9))
+	rng := rand.New(rand.NewSource(classSubsetSeed))
 	for epoch := 0; epoch < 60; epoch++ {
 		next := s.Decide(synthTelemetry(rng, specs, epoch), cur)
 		if err := next.Validate(spec, names(specs)); err != nil {
@@ -155,7 +163,7 @@ func tinyNode(t *testing.T, factory Factory) {
 	if err := cur.Validate(spec, names(specs)); err != nil {
 		t.Fatalf("Init invalid on tiny node: %v\n%s", err, cur)
 	}
-	rng := rand.New(rand.NewSource(4))
+	rng := rand.New(rand.NewSource(tinyNodeSeed))
 	for epoch := 0; epoch < 100; epoch++ {
 		next := s.Decide(synthTelemetry(rng, specs, epoch), cur)
 		if err := next.Validate(spec, names(specs)); err != nil {

@@ -26,6 +26,16 @@ type Config struct {
 	Apps []AppConfig
 }
 
+// wayChangeEpsilon is the smallest change in an application's static way
+// entitlement (isolated plus full shared ways) that re-triggers cache
+// warm-up on repartition. Entitlements are integral sums of region way
+// counts, so any real repartition moves at least one whole way; the named
+// threshold keeps float accumulation noise from re-warming applications
+// whose entitlement did not actually change. Tests share this constant to
+// pin the boundary: a delta of exactly one way warms up, a reshuffle that
+// preserves the total does not.
+const wayChangeEpsilon = 1.0
+
 // Engine simulates the node. It is not safe for concurrent use.
 type Engine struct {
 	spec  machine.Spec
@@ -152,7 +162,7 @@ func (e *Engine) SetAllocation(a machine.Allocation) error {
 				entitled += float64(g.Ways)
 			}
 		}
-		if app.haveAllocation && math.Abs(entitled-app.lastWays) >= 1 {
+		if app.haveAllocation && math.Abs(entitled-app.lastWays) >= wayChangeEpsilon {
 			app.warmupStartMs = e.nowMs
 			app.warmupUntilMs = e.nowMs + e.tun.WarmupMs
 		}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"ahq/internal/machine"
+	"ahq/internal/trace"
+	"ahq/internal/workload"
+)
+
+// TestWarmupBoundaryOneWay pins the wayChangeEpsilon boundary: shrinking
+// an application's way entitlement by exactly one way (a delta equal to
+// the epsilon) re-triggers cache warm-up, while a repartition that
+// reshuffles regions but preserves the total entitlement does not.
+func TestWarmupBoundaryOneWay(t *testing.T) {
+	x := workload.MustLC("xapian")
+	e, err := New(Config{
+		Spec: machine.DefaultSpec(),
+		Seed: 3,
+		Apps: []AppConfig{{LC: &x, Load: trace.Constant(0.3)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := e.apps[0]
+
+	iso := func(ways int) machine.Allocation {
+		return machine.Allocation{Regions: []machine.Region{{
+			Name: "iso:xapian", Kind: machine.Isolated, Cores: 10, Ways: ways, BWUnits: 10,
+			Apps: []string{"xapian"},
+		}}}
+	}
+
+	settle := func() {
+		for end := app.warmupUntilMs + 100; e.NowMs() < end; {
+			e.Step()
+		}
+	}
+
+	if err := e.SetAllocation(iso(6)); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+
+	// Delta of exactly one way — the epsilon itself — must re-warm.
+	if err := e.SetAllocation(iso(5)); err != nil {
+		t.Fatal(err)
+	}
+	if app.warmupUntilMs <= e.nowMs {
+		t.Errorf("one-way entitlement change (delta == wayChangeEpsilon = %v) did not trigger warm-up", wayChangeEpsilon)
+	}
+	settle()
+
+	// Reshuffle: 2 isolated + 3 shared ways keeps the entitlement at 5.
+	// The partitioning changed but the delta is 0 < wayChangeEpsilon, so
+	// no new warm-up may start.
+	split := machine.Allocation{Regions: []machine.Region{
+		{Name: "iso:xapian", Kind: machine.Isolated, Cores: 5, Ways: 2, BWUnits: 5,
+			Apps: []string{"xapian"}},
+		{Name: "shared", Kind: machine.Shared, Cores: 5, Ways: 3, BWUnits: 5,
+			Policy: machine.FairShare, Apps: []string{"xapian"}},
+	}}
+	before := app.warmupUntilMs
+	if err := e.SetAllocation(split); err != nil {
+		t.Fatal(err)
+	}
+	if app.warmupUntilMs != before {
+		t.Errorf("entitlement-preserving reshuffle re-triggered warm-up (until %v -> %v)",
+			before, app.warmupUntilMs)
+	}
+}

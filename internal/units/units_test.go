@@ -1,0 +1,32 @@
+package units
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMsToDuration(t *testing.T) {
+	cases := []struct {
+		ms   float64
+		want time.Duration
+	}{
+		{0, 0},
+		{1, time.Millisecond},
+		{500, 500 * time.Millisecond},
+		{0.25, 250 * time.Microsecond},
+		{1000, time.Second},
+	}
+	for _, c := range cases {
+		if got := MsToDuration(c.ms); got != c.want {
+			t.Errorf("MsToDuration(%v) = %v, want %v", c.ms, got, c.want)
+		}
+	}
+}
+
+func TestDurationToMsRoundTrip(t *testing.T) {
+	for _, ms := range []float64{0, 1, 2.5, 500, 10000} {
+		if got := DurationToMs(MsToDuration(ms)); got != ms {
+			t.Errorf("round trip %v ms = %v ms", ms, got)
+		}
+	}
+}

@@ -33,7 +33,7 @@ func Calibrate(name string, threads int, serviceMeanMs, idealP95Ms, qosTargetMs,
 	ratio := idealP95Ms / serviceMeanMs
 	sigma, err := sigmaForTailRatio(ratio)
 	if err != nil {
-		return LCApp{}, fmt.Errorf("workload: calibrate %s: %v", name, err)
+		return LCApp{}, fmt.Errorf("workload: calibrate %s: %w", name, err)
 	}
 	app := LCApp{
 		Name:           name,
@@ -48,6 +48,14 @@ func Calibrate(name string, threads int, serviceMeanMs, idealP95Ms, qosTargetMs,
 	return app, nil
 }
 
+// calibrationSeed fixes the Monte-Carlo stream used by FitSigmaWithTerms.
+// The fit is part of the deterministic build of every workload catalogue
+// entry, so the seed is a package-level constant rather than a config
+// knob: changing it would shift every calibrated sigma and with it every
+// paper table. The value is the original 0x5EED ("seed") literal, kept
+// so historical outputs remain byte-identical.
+const calibrationSeed int64 = 0x5EED
+
 // FitSigmaWithTerms refits the log-normal sigma of an application that has
 // a term mix attached so that the *combined* service distribution —
 // log-normal times the Zipfian content factor — still has the calibrated
@@ -61,7 +69,7 @@ func FitSigmaWithTerms(app *LCApp) error {
 	target := app.IdealP95Ms
 
 	p95at := func(sigma float64) float64 {
-		rng := rand.New(rand.NewSource(0x5EED))
+		rng := rand.New(rand.NewSource(calibrationSeed))
 		mu := math.Log(app.ServiceMeanMs) - sigma*sigma/2
 		const n = 20000
 		xs := make([]float64, n)

@@ -123,7 +123,7 @@ func calibrateCatalog(name string) (LCApp, error) {
 	if s.terms != nil {
 		mix, err := NewTermMix(s.terms.n, s.terms.skew, s.terms.coldFactor)
 		if err != nil {
-			return LCApp{}, fmt.Errorf("workload: %s: %v", name, err)
+			return LCApp{}, fmt.Errorf("workload: %s: %w", name, err)
 		}
 		app.Terms = mix
 		if err := FitSigmaWithTerms(&app); err != nil {
