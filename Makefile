@@ -8,7 +8,8 @@
 #   test       - full test suite
 #   test-short - skip the long-horizon tests
 #   race       - test suite under the race detector
-#   bench      - one testing.B entry per paper table/figure
+#   bench      - run the benchmark suite and emit BENCH_<n>.json
+#                (benchmark name -> ns/op, B/op, allocs/op via cmd/benchjson)
 #   results    - regenerate every paper artifact into results/
 #   fuzz       - fuzz the percentile estimators
 #   clean      - remove generated results
@@ -39,9 +40,13 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# One testing.B entry per paper table/figure (quick horizons).
+# One testing.B entry per paper table/figure plus the engine
+# microbenchmarks; the run is summarised into the next free BENCH_<n>.json
+# so successive runs accumulate a history instead of overwriting it.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	@n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_$$n.json && \
+	echo "wrote BENCH_$$n.json"
 
 # Regenerate every paper artifact at full horizons into results/.
 results:

@@ -272,6 +272,10 @@ func (d *daemon) stepEpoch() {
 		tel.ELC, tel.EBE, tel.ES = math.NaN(), math.NaN(), math.NaN()
 	}
 	d.lastTel = tel
+	// The engine reuses the slice behind RunWindow's result on the next
+	// call; lastTel outlives this epoch (the HTTP handlers read it), so it
+	// needs its own copy.
+	d.lastTel.Apps = append([]sched.AppWindow(nil), windows...)
 	violations := 0
 	for _, w := range windows {
 		if w.Violates() {

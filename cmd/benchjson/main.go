@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// artifact: benchmark name → ns/op, B/op, allocs/op. The Makefile's bench
+// target pipes into it to produce the repo's BENCH_<n>.json files.
+//
+// With -count>1 runs, the per-benchmark median is reported (lower-middle
+// for even counts, so the value is always one that was actually measured).
+// An optional -before file — a previous benchjson artifact — adds
+// before_ns_per_op and speedup fields, which is how before/after
+// comparisons are recorded.
+//
+//	go test -run '^$' -bench . -benchmem -count 6 . | benchjson -o BENCH_1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's aggregated result.
+type Entry struct {
+	NsPerOp       float64  `json:"ns_per_op"`
+	BPerOp        *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp   *float64 `json:"allocs_per_op,omitempty"`
+	Samples       int      `json:"samples"`
+	BeforeNsPerOp *float64 `json:"before_ns_per_op,omitempty"`
+	Speedup       *float64 `json:"speedup,omitempty"`
+}
+
+// Artifact is the emitted file: a schema tag plus name → entry.
+type Artifact struct {
+	Schema     string           `json:"schema"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches one result line, e.g.
+//
+//	BenchmarkEngineTick-8   1537214   782.3 ns/op   253 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	before := flag.String("before", "", "previous benchjson artifact to compare against")
+	flag.Parse()
+
+	samples := map[string]map[string][]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, metrics := m[1], strings.Fields(m[2])
+		for i := 0; i+1 < len(metrics); i += 2 {
+			v, err := strconv.ParseFloat(metrics[i], 64)
+			if err != nil {
+				continue
+			}
+			if samples[name] == nil {
+				samples[name] = map[string][]float64{}
+			}
+			unit := metrics[i+1]
+			samples[name][unit] = append(samples[name][unit], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+
+	var prior map[string]Entry
+	if *before != "" {
+		data, err := os.ReadFile(*before)
+		if err != nil {
+			fatal(err)
+		}
+		var a Artifact
+		if err := json.Unmarshal(data, &a); err != nil {
+			fatal(fmt.Errorf("%s: %w", *before, err))
+		}
+		prior = a.Benchmarks
+	}
+
+	art := Artifact{Schema: "ahq-bench-v1", Benchmarks: map[string]Entry{}}
+	for name, units := range samples {
+		ns, ok := units["ns/op"]
+		if !ok {
+			continue
+		}
+		e := Entry{NsPerOp: median(ns), Samples: len(ns)}
+		if b, ok := units["B/op"]; ok {
+			e.BPerOp = ptr(median(b))
+		}
+		if a, ok := units["allocs/op"]; ok {
+			e.AllocsPerOp = ptr(median(a))
+		}
+		if p, ok := prior[name]; ok && e.NsPerOp > 0 {
+			e.BeforeNsPerOp = ptr(p.NsPerOp)
+			e.Speedup = ptr(math.Round(p.NsPerOp/e.NsPerOp*100) / 100)
+		}
+		art.Benchmarks[name] = e
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// median returns the lower-middle order statistic, so the reported value is
+// always one that was actually measured.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}
+
+func ptr(v float64) *float64 { return &v }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

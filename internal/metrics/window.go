@@ -72,8 +72,10 @@ func (w *WorkWindow) Snapshot() float64 {
 }
 
 // insertionOrQuick sorts in place; windows are typically a few hundred to a
-// few thousand samples, where the stdlib sort is fine, but tiny windows are
-// common in overload, so avoid its overhead for them.
+// few thousand samples, where the plain-comparison quicksort below beats
+// the stdlib's generic sort (whose comparator pays a NaN check per
+// compare; latencies are never NaN), and tiny windows are common in
+// overload, so avoid even that overhead for them.
 func insertionOrQuick(xs []float64) {
 	if len(xs) <= 32 {
 		for i := 1; i < len(xs); i++ {

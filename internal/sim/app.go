@@ -63,8 +63,14 @@ type appState struct {
 	class workload.Class
 	rng   *rand.Rand
 
-	// LC state.
+	// LC state. The waiting requests are queue[qHead:]: dispatch consumes
+	// from the front by advancing qHead instead of compacting the slice, so
+	// a tick that completes a few head requests of a deep backlog does not
+	// memmove the whole tail (see dispatchHeap). arrive re-normalises the
+	// backing array once the dispatched prefix dominates it, which keeps the
+	// memory bounded at amortised O(1) moves per request.
 	queue   []request
+	qHead   int
 	offered int // arrivals this window, including drops
 	latWin  metrics.LatencyWindow
 	// nextIssue holds each closed-loop user's next request time (empty
@@ -100,18 +106,47 @@ type appState struct {
 	warmupStartMs  float64
 	haveAllocation bool
 
-	// Reusable per-tick service-slot scratch (see Engine.progress).
+	// refMiss and cacheDenom are tick-invariant slowdown inputs — the miss
+	// ratio at the reference way count and the cache-factor denominator it
+	// induces — precomputed at engine construction (see resolveMemBW).
+	refMiss    float64
+	cacheDenom float64
+	// svcMu is the LC service distribution's log-normal mu, precomputed so
+	// sampleService does not pay a math.Log per draw.
+	svcMu float64
+
+	// Reusable per-tick service-slot scratch (see dispatch.go).
 	slotClock []float64
-	slotRate  []float64
+	slotHeap  []int32
+
+	// pLambdaBits/pExpNegLambda cache exp(-lambda) for the Poisson arrival
+	// draw across ticks (see poissonDraw).
+	pLambdaBits   uint64
+	pExpNegLambda float64
+
+	// keptBuf is dispatchHeap's scratch for requests served partially this
+	// tick, reused across ticks.
+	keptBuf []request
 }
 
+// pending returns the requests waiting for service, oldest dispatch
+// position first.
+func (a *appState) pending() []request { return a.queue[a.qHead:] }
+
+// pendingLen returns how many requests are waiting for service.
+func (a *appState) pendingLen() int { return len(a.queue) - a.qHead }
+
 func newAppState(cfg AppConfig, seed int64) *appState {
-	return &appState{
+	a := &appState{
 		cfg:   cfg,
 		name:  cfg.Name(),
 		class: cfg.Class(),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
+	if cfg.LC != nil {
+		a.svcMu = cfg.LC.ServiceMu()
+	}
+	return a
 }
 
 // threads returns the application's worker/compute thread count.
@@ -143,7 +178,7 @@ func (a *appState) runnableThreads() int {
 	if a.class == workload.BE {
 		return a.threads()
 	}
-	n := len(a.queue)
+	n := a.pendingLen()
 	if t := a.threads(); n > t {
 		n = t
 	}
@@ -157,7 +192,7 @@ func (a *appState) sampleService() float64 {
 	lc := a.cfg.LC
 	demand := lc.ServiceMeanMs
 	if lc.ServiceSigma > 0 {
-		demand = math.Exp(lc.ServiceMu() + lc.ServiceSigma*a.rng.NormFloat64())
+		demand = math.Exp(a.svcMu + lc.ServiceSigma*a.rng.NormFloat64())
 	}
 	if lc.Terms != nil {
 		demand *= lc.Terms.Sample(a.rng)
@@ -182,6 +217,13 @@ func (a *appState) arrive(nowMs, dtMs float64) {
 	lc := a.cfg.LC
 	if lc == nil {
 		return
+	}
+	if a.qHead > 0 && 2*a.qHead >= len(a.queue) {
+		// The dispatched prefix dominates the backing array; slide the
+		// waiting requests back to the front before appending more.
+		n := copy(a.queue, a.queue[a.qHead:])
+		a.queue = a.queue[:n]
+		a.qHead = 0
 	}
 	if a.cfg.ClosedLoopUsers > 0 {
 		if a.nextIssue == nil {
@@ -217,13 +259,13 @@ func (a *appState) arrive(nowMs, dtMs float64) {
 		return
 	}
 	lambda := frac * lc.MaxLoadQPS / 1000 * dtMs // expected arrivals this tick
-	n := poisson(a.rng, lambda)
+	n := a.poissonDraw(lambda)
 	if n == 0 {
 		return
 	}
 	a.offered += n
 	for i := 0; i < n; i++ {
-		if len(a.queue) >= lc.ClientQueueCap {
+		if a.pendingLen() >= lc.ClientQueueCap {
 			a.latWin.Drop()
 			continue
 		}
@@ -237,12 +279,42 @@ func (a *appState) arrive(nowMs, dtMs float64) {
 	}
 }
 
-// oldestAgeMs returns the age of the head-of-line request, or NaN if idle.
+// oldestAgeMs returns the age of the oldest waiting request, or NaN if
+// idle. The queue is not sorted by arrival time — same-tick arrivals are
+// appended in draw order (open loop) or user order (closed loop) — so the
+// head of the queue is not necessarily the oldest; scan for the minimum.
 func (a *appState) oldestAgeMs(nowMs float64) float64 {
-	if len(a.queue) == 0 {
+	q := a.pending()
+	if len(q) == 0 {
 		return math.NaN()
 	}
-	return nowMs - a.queue[0].arrivalMs
+	oldest := q[0].arrivalMs
+	for _, r := range q[1:] {
+		if r.arrivalMs < oldest {
+			oldest = r.arrivalMs
+		}
+	}
+	return nowMs - oldest
+}
+
+// poissonDraw draws from the application's arrival stream. It is poisson
+// with one addition: exp(-lambda) is cached across ticks, keyed on
+// lambda's exact bit pattern, because under a constant or slowly varying
+// load trace lambda repeats every tick and that exponential is the
+// draw's only transcendental. Any real change in lambda recomputes, so
+// the draw is bit-identical to the uncached form.
+func (a *appState) poissonDraw(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 64 {
+		return poissonNormal(a.rng, lambda)
+	}
+	if bits := math.Float64bits(lambda); bits != a.pLambdaBits {
+		a.pLambdaBits = bits
+		a.pExpNegLambda = math.Exp(-lambda)
+	}
+	return poissonKnuth(a.rng, a.pExpNegLambda)
 }
 
 // poisson draws a Poisson variate. Tick-level means here are small (a few
@@ -253,14 +325,23 @@ func poisson(rng *rand.Rand, lambda float64) int {
 		return 0
 	}
 	if lambda > 64 {
-		// Normal approximation with continuity correction.
-		n := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
-		if n < 0 {
-			return 0
-		}
-		return n
+		return poissonNormal(rng, lambda)
 	}
-	l := math.Exp(-lambda)
+	return poissonKnuth(rng, math.Exp(-lambda))
+}
+
+// poissonNormal is the large-mean normal approximation with continuity
+// correction.
+func poissonNormal(rng *rand.Rand, lambda float64) int {
+	n := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// poissonKnuth is Knuth's multiplication method given l = exp(-lambda).
+func poissonKnuth(rng *rand.Rand, l float64) int {
 	k, p := 0, 1.0
 	for {
 		p *= rng.Float64()

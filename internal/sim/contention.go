@@ -7,24 +7,28 @@ import (
 	"ahq/internal/workload"
 )
 
+// The resolvers below are the fresh-solve path of resolveContention
+// (memo.go). They read region structure exclusively through the compiled
+// topology (topology.go) — per-app isolated resources and per-region member
+// index lists — so the per-tick cost is linear in members, with no string
+// comparisons. Member lists preserve engine configuration order, keeping
+// every float accumulation in the exact order of the original membership
+// scans.
+
 // resolveCores distributes core time for the current tick. Threads first
 // fill their application's isolated cores one-to-one; the remainder spill
 // into the application's shared region, where capacity is divided per
 // thread — equally under FairShare (CFS) or latency-critical-first under
 // LCPriority (real-time priority / the ARQ shared region).
 func (e *Engine) resolveCores() {
-	for _, a := range e.apps {
-		a.activeThreads = a.runnableThreads()
-		a.isoCores = 0
+	for i, a := range e.apps {
+		a.isoCores = e.topo.byApp[i].isoCores
 		a.isoShare = 0
 		a.sharedThreads = 0
 		a.sharedShare = 0
 		a.sharedCrowded = false
 		a.sharedPolluted = false
 		a.dispatchDelay = 0
-		if g := e.alloc.IsolatedRegionOf(a.name); g != nil {
-			a.isoCores = g.Cores
-		}
 		used := a.activeThreads
 		if used > a.isoCores {
 			used = a.isoCores
@@ -35,15 +39,13 @@ func (e *Engine) resolveCores() {
 		a.sharedThreads = a.activeThreads - used
 	}
 
-	for gi := range e.alloc.Regions {
-		g := &e.alloc.Regions[gi]
-		if g.Kind != machine.Shared {
-			continue
-		}
+	for si := range e.topo.shared {
+		g := e.topo.shared[si].region
 		members := e.scratchMembers[:0]
 		lcThreads, beThreads, appsPresent := 0, 0, 0
-		for _, a := range e.apps {
-			if !g.Has(a.name) || a.sharedThreads == 0 {
+		for _, ai := range e.topo.shared[si].members {
+			a := e.apps[ai]
+			if a.sharedThreads == 0 {
 				continue
 			}
 			members = append(members, a)
@@ -141,21 +143,18 @@ func (e *Engine) resolveCores() {
 // evicting others, while a streaming application (STREAM) never stops
 // inserting and floods any cache it can touch.
 func (e *Engine) resolveCache() {
-	for _, a := range e.apps {
-		a.isoWays = 0
-		if g := e.alloc.IsolatedRegionOf(a.name); g != nil {
-			a.isoWays = float64(g.Ways)
-		}
+	for i, a := range e.apps {
+		a.isoWays = e.topo.byApp[i].isoWays
 		a.effWays = a.isoWays
 	}
-	for gi := range e.alloc.Regions {
-		g := &e.alloc.Regions[gi]
-		if g.Kind != machine.Shared || g.Ways == 0 {
+	for si := range e.topo.shared {
+		g := e.topo.shared[si].region
+		if g.Ways == 0 {
 			continue
 		}
 		members := e.scratchMembers[:0]
-		for _, a := range e.apps {
-			if g.Has(a.name) && a.activeThreads > 0 {
+		for _, ai := range e.topo.shared[si].members {
+			if a := e.apps[ai]; a.activeThreads > 0 {
 				members = append(members, a)
 			}
 		}
@@ -218,35 +217,28 @@ func (e *Engine) resolveMemBW() {
 	for i, a := range e.apps {
 		miss[i] = e.missRatio(a)
 		demand := a.sens().MemGBpsPerThread * miss[i] * a.totalCoreShare
-		isoBW := 0.0
-		if g := e.alloc.IsolatedRegionOf(a.name); g != nil {
-			isoBW = float64(g.BWUnits) * unitGBps
-		}
+		isoBW := float64(e.topo.byApp[i].isoBWUnits) * unitGBps
 		granted := math.Min(demand, isoBW)
-		reqs[i] = bwReq{app: a, demand: demand, spill: demand - granted, grant: granted}
+		reqs[i] = bwReq{demand: demand, spill: demand - granted, grant: granted}
 	}
 
-	for gi := range e.alloc.Regions {
-		g := &e.alloc.Regions[gi]
-		if g.Kind != machine.Shared || g.BWUnits == 0 {
+	for si := range e.topo.shared {
+		g := e.topo.shared[si].region
+		if g.BWUnits == 0 {
 			continue
 		}
 		pool := float64(g.BWUnits) * unitGBps
 		totalSpill := 0.0
-		for i := range reqs {
-			if g.Has(reqs[i].app.name) {
-				totalSpill += reqs[i].spill
-			}
+		for _, ai := range e.topo.shared[si].members {
+			totalSpill += reqs[ai].spill
 		}
 		if totalSpill <= 0 {
 			continue
 		}
 		frac := math.Min(1, pool/totalSpill)
-		for i := range reqs {
-			if g.Has(reqs[i].app.name) {
-				reqs[i].grant += reqs[i].spill * frac
-				reqs[i].spill = 0
-			}
+		for _, ai := range e.topo.shared[si].members {
+			reqs[ai].grant += reqs[ai].spill * frac
+			reqs[ai].spill = 0
 		}
 	}
 
@@ -260,15 +252,14 @@ func (e *Engine) resolveMemBW() {
 			sat = e.tun.MinBWSatisfaction
 		}
 		memFactor := 1 + sens.MemSens*(1/sat-1)
-		refMiss := a.cache().MissRatio(e.tun.RefWays)
-		cacheFactor := (1 + sens.CacheSens*miss[i]) / (1 + sens.CacheSens*refMiss)
+		cacheFactor := (1 + sens.CacheSens*miss[i]) / a.cacheDenom
 		a.slowdown = cacheFactor * memFactor
 	}
 }
 
-// bwReq tracks one application's bandwidth demand resolution for a tick.
+// bwReq tracks one application's bandwidth demand resolution for a tick,
+// indexed by engine application order.
 type bwReq struct {
-	app    *appState
 	demand float64
 	spill  float64
 	grant  float64
@@ -279,11 +270,10 @@ type bwReq struct {
 func growScratch(buf *[]float64, n int) []float64 {
 	if cap(*buf) < n {
 		*buf = make([]float64, n)
+		return *buf
 	}
 	s := (*buf)[:n]
-	for i := range s {
-		s[i] = 0
-	}
+	clear(s)
 	return s
 }
 
@@ -291,23 +281,21 @@ func growScratch(buf *[]float64, n int) []float64 {
 func growScratchReq(buf *[]bwReq, n int) []bwReq {
 	if cap(*buf) < n {
 		*buf = make([]bwReq, n)
+		return *buf
 	}
 	s := (*buf)[:n]
-	for i := range s {
-		s[i] = bwReq{}
-	}
+	clear(s)
 	return s
 }
 
 // progress advances every in-service request and accumulates best-effort
-// work for the tick. LC requests are served by worker-thread "slots": each
-// slot is a sequential server with its own wall clock, so a slot that
-// finishes a short request picks up the next queued one within the same
-// tick (the simulator's throughput is not quantised by the tick), mid-tick
-// arrivals only receive service after they arrive, and a request never runs
-// on more than one core at a time.
-func (e *Engine) progress(dt float64) {
-	tickEnd := e.nowMs + dt
+// work for the tick. LC requests are served by worker-thread "slots"; see
+// dispatch.go for the earliest-slot heap. A slot that finishes a short
+// request picks up the next queued one within the same tick (the
+// simulator's throughput is not quantised by the tick), mid-tick arrivals
+// only receive service after they arrive, and a request never runs on more
+// than one core at a time.
+func (e *Engine) progress(dt, tickEnd float64) {
 	for _, a := range e.apps {
 		if a.class == workload.BE {
 			if a.totalCoreShare > 0 && a.slowdown > 0 {
@@ -318,73 +306,9 @@ func (e *Engine) progress(dt float64) {
 			a.runMs += dt
 			continue
 		}
-		if len(a.queue) == 0 {
+		if a.pendingLen() == 0 {
 			continue
 		}
-		nSlots := a.threads()
-		if cap(a.slotClock) < nSlots {
-			a.slotClock = make([]float64, nSlots)
-			a.slotRate = make([]float64, nSlots)
-		}
-		clocks := a.slotClock[:nSlots]
-		rates := a.slotRate[:nSlots]
-		isoSlots := a.isoCores
-		if isoSlots > nSlots {
-			isoSlots = nSlots
-		}
-		for i := 0; i < nSlots; i++ {
-			clocks[i] = e.nowMs
-			speed := a.sharedShare
-			if i < isoSlots {
-				speed = 1
-			}
-			rates[i] = speed / a.slowdown // work per wall-clock ms
-		}
-
-		kept := a.queue[:0]
-		for _, req := range a.queue {
-			// Earliest-available slot with a usable rate.
-			slot := -1
-			for i := 0; i < nSlots; i++ {
-				if rates[i] <= 0 {
-					continue
-				}
-				if slot == -1 || clocks[i] < clocks[slot] {
-					slot = i
-				}
-			}
-			if slot == -1 {
-				kept = append(kept, req)
-				continue
-			}
-			start := clocks[slot]
-			if req.arrivalMs > start {
-				start = req.arrivalMs
-			}
-			if req.notBefore > start {
-				start = req.notBefore
-			}
-			if start >= tickEnd {
-				kept = append(kept, req)
-				continue
-			}
-			can := (tickEnd - start) * rates[slot]
-			if req.remainMs <= can {
-				done := start + req.remainMs/rates[slot]
-				clocks[slot] = done
-				lat := done - req.arrivalMs
-				a.latWin.Observe(lat)
-				a.runLat = append(a.runLat, lat)
-				if req.user >= 0 && req.user < len(a.nextIssue) {
-					// Closed loop: the user thinks, then reissues.
-					a.nextIssue[req.user] = done + a.rng.ExpFloat64()*a.thinkMean()
-				}
-				continue
-			}
-			req.remainMs -= can
-			clocks[slot] = tickEnd
-			kept = append(kept, req)
-		}
-		a.queue = kept
+		a.dispatchHeap(e.nowMs, tickEnd)
 	}
 }

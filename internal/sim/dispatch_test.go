@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ahq/internal/workload"
+)
+
+// dispatchApp builds an appState with a randomized contention snapshot and
+// request queue, ready to dispatch one tick. Every draw comes from rng, so
+// two calls with identically seeded sources produce identical states.
+func dispatchApp(rng *rand.Rand, nowMs float64) *appState {
+	lc := workload.MustLC("xapian")
+	a := newAppState(AppConfig{LC: &lc}, 1)
+	// Randomize the slot configuration across the interesting shapes:
+	// iso-only (shared share zero), shared-only, mixed, and more isolated
+	// cores than threads.
+	a.isoCores = rng.Intn(lc.Threads + 3)
+	a.slowdown = 1 + 3*rng.Float64()
+	switch rng.Intn(3) {
+	case 0:
+		a.sharedShare = 0
+	default:
+		a.sharedShare = rng.Float64()
+	}
+	n := rng.Intn(24)
+	for i := 0; i < n; i++ {
+		at := nowMs - 3*rng.Float64() // some backlog, some fresh
+		a.queue = append(a.queue, request{
+			arrivalMs: at,
+			remainMs:  0.05 + 2.5*rng.Float64(),
+			notBefore: at + 0.4*rng.Float64(),
+			user:      -1,
+		})
+	}
+	return a
+}
+
+// TestHeapDispatchMatchesLinear drives the heap dispatcher and the original
+// linear scan over randomized queues and slot configurations and demands
+// identical completion sequences (latency by latency, bit for bit) and
+// identical leftover queues.
+func TestHeapDispatchMatchesLinear(t *testing.T) {
+	for trial := 0; trial < 2000; trial++ {
+		seed := int64(trial + 1)
+		nowMs := float64(trial % 7)
+		h := dispatchApp(rand.New(rand.NewSource(seed)), nowMs)
+		l := dispatchApp(rand.New(rand.NewSource(seed)), nowMs)
+		tickEnd := nowMs + 1
+
+		h.dispatchHeap(nowMs, tickEnd)
+		l.dispatchLinear(nowMs, tickEnd)
+
+		if len(h.runLat) != len(l.runLat) {
+			t.Fatalf("trial %d: heap completed %d requests, linear %d",
+				trial, len(h.runLat), len(l.runLat))
+		}
+		for i := range h.runLat {
+			if h.runLat[i] != l.runLat[i] {
+				t.Fatalf("trial %d: completion %d latency %v (heap) != %v (linear)",
+					trial, i, h.runLat[i], l.runLat[i])
+			}
+		}
+		hq, lq := h.pending(), l.pending()
+		if len(hq) != len(lq) {
+			t.Fatalf("trial %d: heap kept %d requests, linear kept %d",
+				trial, len(hq), len(lq))
+		}
+		for i := range hq {
+			if hq[i] != lq[i] {
+				t.Fatalf("trial %d: kept request %d differs: %+v (heap) != %+v (linear)",
+					trial, i, hq[i], lq[i])
+			}
+		}
+	}
+}
+
+// TestHeapDispatchClosedLoopReschedules pins the closed-loop path through
+// the heap dispatcher: completions must consume identical rng draws and
+// produce identical next-issue times in both implementations.
+func TestHeapDispatchClosedLoopReschedules(t *testing.T) {
+	build := func() *appState {
+		lc := workload.MustLC("xapian")
+		a := newAppState(AppConfig{LC: &lc, ClosedLoopUsers: 6}, 42)
+		a.isoCores = 2
+		a.slowdown = 1.5
+		a.sharedShare = 0.6
+		a.nextIssue = make([]float64, 6)
+		for u := 0; u < 6; u++ {
+			a.queue = append(a.queue, request{
+				arrivalMs: float64(u) * 0.1,
+				remainMs:  0.3 + 0.2*float64(u),
+				user:      u,
+			})
+			a.nextIssue[u] = -1
+		}
+		return a
+	}
+	h, l := build(), build()
+	h.dispatchHeap(0, 1)
+	l.dispatchLinear(0, 1)
+	for u := range h.nextIssue {
+		if h.nextIssue[u] != l.nextIssue[u] {
+			t.Fatalf("user %d: next issue %v (heap) != %v (linear)",
+				u, h.nextIssue[u], l.nextIssue[u])
+		}
+	}
+}
+
+// TestOldestAgeMsScansWholeQueue is the regression test for the starved-app
+// latency bound: same-tick arrivals are appended in draw order, so the head
+// of the queue is not necessarily the oldest request.
+func TestOldestAgeMsScansWholeQueue(t *testing.T) {
+	lc := workload.MustLC("xapian")
+	a := newAppState(AppConfig{LC: &lc}, 1)
+	a.queue = []request{
+		{arrivalMs: 10.7},
+		{arrivalMs: 10.2}, // older than the head
+		{arrivalMs: 10.9},
+	}
+	if got, want := a.oldestAgeMs(20), 20-10.2; got != want {
+		t.Errorf("oldestAgeMs = %v, want %v (the queue minimum, not the head)", got, want)
+	}
+	// The head index must not hide dispatched entries' successors.
+	a.qHead = 1
+	if got, want := a.oldestAgeMs(20), 20-10.2; got != want {
+		t.Errorf("oldestAgeMs with qHead=1 = %v, want %v", got, want)
+	}
+	a.queue = a.queue[:0]
+	a.qHead = 0
+	if got := a.oldestAgeMs(20); !math.IsNaN(got) {
+		t.Errorf("oldestAgeMs on empty queue = %v, want NaN", got)
+	}
+}
+
+// TestQueueHeadCompaction pins the head-indexed queue's invariants: pending
+// order survives dispatch-and-refill cycles and the backing array is
+// re-normalised once the dispatched prefix dominates.
+func TestQueueHeadCompaction(t *testing.T) {
+	lc := workload.MustLC("xapian")
+	lc.ServiceSigma = 0
+	lc.Terms = nil
+	a := newAppState(AppConfig{LC: &lc}, 1)
+	a.isoCores = 1
+	a.slowdown = 1
+	// 8 requests of 1 ms each on one slot: each tick completes exactly one.
+	for i := 0; i < 8; i++ {
+		a.queue = append(a.queue, request{arrivalMs: 0, remainMs: 1, user: -1})
+	}
+	for tick := 0; tick < 8; tick++ {
+		now := float64(tick)
+		a.arrive(now, 1) // no load trace: only runs the compaction step
+		wantLen := 8 - tick
+		if got := a.pendingLen(); got != wantLen {
+			t.Fatalf("tick %d: pendingLen = %d, want %d", tick, got, wantLen)
+		}
+		if 2*a.qHead >= len(a.queue) && a.qHead != 0 {
+			t.Fatalf("tick %d: compaction missed: qHead=%d len=%d", tick, a.qHead, len(a.queue))
+		}
+		a.dispatchHeap(now, now+1)
+	}
+	if a.pendingLen() != 0 {
+		t.Fatalf("queue not drained: %d pending", a.pendingLen())
+	}
+}

@@ -45,6 +45,21 @@ type Engine struct {
 	apps  []*appState
 	byIdx map[string]int
 	alloc machine.Allocation
+	// topo is the indexed form of alloc, recompiled on SetAllocation so
+	// the tick loop never walks region membership lists (topology.go).
+	topo allocTopology
+	// memo caches contention solves keyed on the active-thread vector
+	// (memo.go); invalidated when the allocation changes.
+	memo resolveMemo
+	// warmupMaxUntilMs is the latest warm-up deadline across applications;
+	// the memo is bypassed until simulation time passes it.
+	warmupMaxUntilMs float64
+	// tickCount counts completed ticks since construction. Simulation time
+	// is derived as tickCount*tick rather than accumulated with repeated
+	// += tick, so nowMs carries one rounding at most and cannot drift over
+	// long horizons (for the integral millisecond ticks every experiment
+	// uses, both forms are exact and identical).
+	tickCount int64
 
 	// Reusable per-tick scratch for the contention resolvers.
 	scratchMembers  []*appState
@@ -52,6 +67,9 @@ type Engine struct {
 	scratchPressure []float64
 	scratchMiss     []float64
 	scratchReqs     []bwReq
+	// snapBuf backs the AppWindow slice returned by RunWindow; reused
+	// across windows.
+	snapBuf []sched.AppWindow
 
 	// windowMs tracks the length of the window being accumulated, for
 	// offered-rate and IPC normalisation.
@@ -104,7 +122,10 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("sim: duplicate app name %q", name)
 		}
 		e.byIdx[name] = i
-		e.apps = append(e.apps, newAppState(ac, cfg.Seed+int64(i+1)*0x9E3779B97F4A7C))
+		as := newAppState(ac, cfg.Seed+int64(i+1)*0x9E3779B97F4A7C)
+		as.refMiss = as.cache().MissRatio(tun.RefWays)
+		as.cacheDenom = 1 + as.sens().CacheSens*as.refMiss
+		e.apps = append(e.apps, as)
 	}
 	if err := e.SetAllocation(machine.AllShared(cfg.Spec, machine.FairShare, e.AppNames())); err != nil {
 		return nil, err
@@ -130,44 +151,39 @@ func (e *Engine) NowMs() float64 { return e.nowMs }
 // Allocation returns (a copy of) the allocation currently applied.
 func (e *Engine) Allocation() machine.Allocation { return e.alloc.Clone() }
 
-// SetAllocation validates and applies a new partitioning, triggering cache
-// warm-up for every application whose effective way entitlement changed.
-// Applying an allocation equal to the current one is free.
+// SetAllocation validates and applies a new partitioning, compiling its
+// indexed topology and triggering cache warm-up for every application whose
+// effective way entitlement changed. Applying an allocation equal to the
+// current one is free.
 func (e *Engine) SetAllocation(a machine.Allocation) error {
 	if err := a.Validate(e.spec, e.AppNames()); err != nil {
 		return err
 	}
-	for _, app := range e.apps {
-		nshared := 0
-		for _, g := range a.Regions {
-			if g.Kind == machine.Shared && g.Has(app.name) {
-				nshared++
-			}
-		}
-		if nshared > 1 {
-			return fmt.Errorf("sim: app %q is in %d shared regions, max 1", app.name, nshared)
-		}
-	}
 	if e.alloc.Equal(a) {
 		return nil
 	}
-	e.alloc = a.Clone()
+	clone := a.Clone()
+	topo, err := e.compileTopology(&clone)
+	if err != nil {
+		return err
+	}
+	e.alloc = clone
+	e.topo = topo
+	e.memo.invalidate()
 	// Trigger warm-up where the way entitlement changed. Entitlement here
 	// is the static upper bound (isolated + full shared), which changes
 	// exactly when the partitioning moved ways around this application.
-	for _, app := range e.apps {
-		entitled := 0.0
-		for _, g := range e.alloc.Regions {
-			if g.Has(app.name) {
-				entitled += float64(g.Ways)
-			}
-		}
+	for i, app := range e.apps {
+		entitled := topo.byApp[i].entitledWays
 		if app.haveAllocation && math.Abs(entitled-app.lastWays) >= wayChangeEpsilon {
 			app.warmupStartMs = e.nowMs
 			app.warmupUntilMs = e.nowMs + e.tun.WarmupMs
 		}
 		app.lastWays = entitled
 		app.haveAllocation = true
+		if app.warmupUntilMs > e.warmupMaxUntilMs {
+			e.warmupMaxUntilMs = app.warmupUntilMs
+		}
 	}
 	return nil
 }
@@ -175,18 +191,22 @@ func (e *Engine) SetAllocation(a machine.Allocation) error {
 // Step advances the simulation by one tick.
 func (e *Engine) Step() {
 	dt := e.tick
+	tickEnd := float64(e.tickCount+1) * e.tick
 	for _, a := range e.apps {
 		a.arrive(e.nowMs, dt)
 	}
-	e.resolveCores()
-	e.resolveCache()
-	e.resolveMemBW()
-	e.progress(dt)
-	e.nowMs += dt
+	e.resolveContention()
+	e.progress(dt, tickEnd)
+	e.tickCount++
+	e.nowMs = tickEnd
 }
 
 // RunWindow advances the simulation by one monitoring interval and returns
 // each application's observation for it.
+//
+// The returned slice is backed by an engine-owned buffer that the next
+// RunWindow call reuses; callers that retain observations across windows
+// must copy them first.
 func (e *Engine) RunWindow(windowMs float64) []sched.AppWindow {
 	e.windowStartMs = e.nowMs
 	end := e.nowMs + windowMs
@@ -198,14 +218,14 @@ func (e *Engine) RunWindow(windowMs float64) []sched.AppWindow {
 
 // snapshot drains the per-window accumulators into AppWindow observations.
 func (e *Engine) snapshot(windowMs float64) []sched.AppWindow {
-	out := make([]sched.AppWindow, 0, len(e.apps))
+	out := e.snapBuf[:0]
 	for _, a := range e.apps {
 		w := sched.AppWindow{Spec: e.specOf(a)}
 		if a.class == workload.LC {
 			st := a.latWin.Snapshot()
 			w.P95Ms, w.MeanMs = st.P95, st.Mean
 			w.Completed, w.Dropped = st.Completed, st.Dropped
-			w.QueueLen = len(a.queue)
+			w.QueueLen = a.pendingLen()
 			w.OfferedQPS = float64(a.offered) / windowMs * 1000
 			a.offered = 0
 			// A starved application completes nothing; report the age of
@@ -222,6 +242,7 @@ func (e *Engine) snapshot(windowMs float64) []sched.AppWindow {
 		}
 		out = append(out, w)
 	}
+	e.snapBuf = out
 	return out
 }
 
@@ -255,7 +276,7 @@ func (e *Engine) AppSpecs() []sched.AppSpec {
 // QueueLen exposes an application's backlog, for tests and the daemon.
 func (e *Engine) QueueLen(app string) int {
 	if i, ok := e.byIdx[app]; ok {
-		return len(e.apps[i].queue)
+		return e.apps[i].pendingLen()
 	}
 	return 0
 }

@@ -47,7 +47,7 @@ func (e *Engine) Contention() []AppContention {
 			EffectiveWays:   a.effWays,
 			Slowdown:        a.slowdown,
 			DispatchDelayMs: a.dispatchDelay,
-			QueueLen:        len(a.queue),
+			QueueLen:        a.pendingLen(),
 		})
 	}
 	return out
