@@ -39,6 +39,7 @@ import (
 
 	"ahq/internal/core"
 	"ahq/internal/entropy"
+	"ahq/internal/faults"
 	"ahq/internal/machine"
 	"ahq/internal/rdt"
 	"ahq/internal/sched"
@@ -62,12 +63,27 @@ func main() {
 		epochMs = flag.Float64("epoch", 500, "monitoring interval in ms")
 		fast    = flag.Bool("fast", false, "free-run instead of real time")
 		ri      = flag.Float64("ri", entropy.DefaultRI, "relative importance of LC applications")
+
+		chaosPlan = flag.String("chaos-plan", "", "fault plan spec (kind@epoch[xN|+],... with kinds apply|drop|stale|nan|panic)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "generate a random fault plan from this seed (0 = no faults; -chaos-plan wins)")
 	)
 	flag.Parse()
 
-	d, err := newDaemon(*strat, *mix, *seed, *epochMs, *ri)
+	plan, err := faults.Parse(*chaosPlan)
 	if err != nil {
 		log.Fatalf("ahqd: %v", err)
+	}
+	if plan.Empty() && *chaosSeed != 0 {
+		// Schedule the generated faults over the first minute of epochs.
+		plan = faults.Generate(*chaosSeed, 120)
+	}
+
+	d, err := newDaemon(*strat, *mix, *seed, *epochMs, *ri, plan)
+	if err != nil {
+		log.Fatalf("ahqd: %v", err)
+	}
+	if !plan.Empty() {
+		log.Printf("ahqd: chaos plan active: %s", plan)
 	}
 	go d.loop(*fast)
 
@@ -119,23 +135,30 @@ type epochSummary struct {
 type daemon struct {
 	mu       sync.Mutex
 	engine   *sim.Engine
-	host     *rdt.SimHost
+	node     core.Engine
+	host     rdt.Host
+	fhost    *faults.Host
 	strategy sched.Strategy
 	sys      entropy.System
 	epochMs  float64
 	loads    map[string]*mutableLoad
 
-	epoch    int
-	lastTel  sched.Telemetry
-	lastELC  float64
-	lastEBE  float64
-	lastES   float64
-	sumES    float64
-	measured int
-	history  []epochSummary
+	epoch     int
+	lastTel   sched.Telemetry
+	lastELC   float64
+	lastEBE   float64
+	lastES    float64
+	sumES     float64
+	measured  int
+	incidents int
+	degraded  int
+	history   []epochSummary
 }
 
-func newDaemon(stratName, mix string, seed int64, epochMs, ri float64) (*daemon, error) {
+// newDaemon builds the controller stack; a non-empty fault plan wraps the
+// node, the host and the strategy with the injector so the daemon's
+// degradation paths can be exercised end to end.
+func newDaemon(stratName, mix string, seed int64, epochMs, ri float64, plan *faults.Plan) (*daemon, error) {
 	apps, loads, err := parseMix(mix)
 	if err != nil {
 		return nil, err
@@ -150,13 +173,24 @@ func newDaemon(stratName, mix string, seed int64, epochMs, ri float64) (*daemon,
 	}
 	d := &daemon{
 		engine:   engine,
+		node:     engine,
 		host:     rdt.NewSimHost(engine),
 		strategy: strategy,
 		sys:      entropy.System{RI: ri},
 		epochMs:  epochMs,
 		loads:    loads,
 	}
-	if err := d.host.Apply(strategy.Init(engine.Spec(), engine.AppSpecs())); err != nil {
+	if !plan.Empty() {
+		inj := faults.NewInjector(plan)
+		d.node = inj.Engine(engine)
+		d.fhost = inj.Host(rdt.NewSimHost(engine))
+		// The initial apply below predates epoch 0; plans only schedule
+		// faults from epoch 0 on, so the daemon always comes up healthy.
+		d.fhost.SetEpoch(-1)
+		d.host = d.fhost
+		d.strategy = inj.Strategy(strategy)
+	}
+	if err := d.host.Apply(d.strategy.Init(engine.Spec(), engine.AppSpecs())); err != nil {
 		return nil, err
 	}
 	return d, nil
@@ -257,34 +291,74 @@ func (d *daemon) loop(fast bool) {
 	}
 }
 
+// decideSafe isolates Decide the way core.Run does: a panicking strategy
+// loses its turn instead of taking the daemon down.
+func decideSafe(s sched.Strategy, t sched.Telemetry, cur machine.Allocation) (next machine.Allocation, panicMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicMsg = fmt.Sprint(r)
+		}
+	}()
+	return s.Decide(t, cur), ""
+}
+
 func (d *daemon) stepEpoch() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	windows := d.engine.RunWindow(d.epochMs)
-	tel := sched.Telemetry{TimeMs: d.engine.NowMs(), Epoch: d.epoch, Apps: windows}
-	lc, be := core.SamplesFromWindows(windows)
-	if elc, ebe, es, err := d.sys.Compute(lc, be); err == nil {
-		tel.ELC, tel.EBE, tel.ES = elc, ebe, es
-		d.lastELC, d.lastEBE, d.lastES = elc, ebe, es
-		d.sumES += es
-		d.measured++
+	epochOK := true
+	windows := d.node.RunWindow(d.epochMs)
+	tel := sched.Telemetry{TimeMs: d.node.NowMs(), Epoch: d.epoch, Apps: windows}
+	if len(windows) == 0 {
+		// Dropped telemetry: hold the previous observation rather than
+		// deciding on nothing.
+		log.Printf("ahqd: telemetry dropped at epoch %d, holding previous window", d.epoch)
+		tel.Apps = d.lastTel.Apps
+		tel.TimeMs = d.lastTel.TimeMs
+		tel.ELC, tel.EBE, tel.ES = d.lastELC, d.lastEBE, d.lastES
+		d.incidents++
+		epochOK = false
 	} else {
-		tel.ELC, tel.EBE, tel.ES = math.NaN(), math.NaN(), math.NaN()
+		lc, be := core.SamplesFromWindows(windows)
+		if elc, ebe, es, err := d.sys.Compute(lc, be); err == nil {
+			tel.ELC, tel.EBE, tel.ES = elc, ebe, es
+			d.lastELC, d.lastEBE, d.lastES = elc, ebe, es
+			d.sumES += es
+			d.measured++
+		} else {
+			tel.ELC, tel.EBE, tel.ES = math.NaN(), math.NaN(), math.NaN()
+		}
 	}
+	tel.TelemetryOK = epochOK
 	d.lastTel = tel
 	// The engine reuses the slice behind RunWindow's result on the next
 	// call; lastTel outlives this epoch (the HTTP handlers read it), so it
 	// needs its own copy.
-	d.lastTel.Apps = append([]sched.AppWindow(nil), windows...)
+	d.lastTel.Apps = append([]sched.AppWindow(nil), tel.Apps...)
 	violations := 0
-	for _, w := range windows {
+	for _, w := range tel.Apps {
 		if w.Violates() {
 			violations++
 		}
 	}
-	next := d.strategy.Decide(tel, d.engine.Allocation())
+	if d.fhost != nil {
+		d.fhost.SetEpoch(d.epoch)
+	}
+	next, panicMsg := decideSafe(d.strategy, tel, d.engine.Allocation())
+	if panicMsg != "" {
+		log.Printf("ahqd: strategy panicked at epoch %d, holding allocation: %s", d.epoch, panicMsg)
+		d.incidents++
+		epochOK = false
+		next = d.engine.Allocation()
+	}
 	if err := d.host.Apply(next); err != nil {
+		// The host rejects atomically, so the previous allocation is
+		// still in force; hold it and carry on.
 		log.Printf("ahqd: allocation rejected at epoch %d: %v", d.epoch, err)
+		d.incidents++
+		epochOK = false
+	}
+	if !epochOK {
+		d.degraded++
 	}
 	d.history = append(d.history, epochSummary{
 		Epoch:      d.epoch,
@@ -318,13 +392,15 @@ func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		mean = d.sumES / float64(d.measured)
 	}
 	writeJSON(w, map[string]interface{}{
-		"strategy": d.strategy.Name(),
-		"epoch":    d.epoch,
-		"sim_ms":   d.engine.NowMs(),
-		"e_lc":     d.lastELC,
-		"e_be":     d.lastEBE,
-		"e_s":      d.lastES,
-		"mean_e_s": mean,
+		"strategy":        d.strategy.Name(),
+		"epoch":           d.epoch,
+		"sim_ms":          d.engine.NowMs(),
+		"e_lc":            d.lastELC,
+		"e_be":            d.lastEBE,
+		"e_s":             d.lastES,
+		"mean_e_s":        mean,
+		"incidents":       d.incidents,
+		"degraded_epochs": d.degraded,
 	})
 }
 

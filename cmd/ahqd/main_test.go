@@ -8,6 +8,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"ahq/internal/faults"
 )
 
 func TestParseMix(t *testing.T) {
@@ -97,7 +99,7 @@ func TestMakeStrategy(t *testing.T) {
 }
 
 func TestDaemonEndpoints(t *testing.T) {
-	d, err := newDaemon("arq", "xapian:0.3,moses:0.2+stream", 1, 500, 0.8)
+	d, err := newDaemon("arq", "xapian:0.3,moses:0.2+stream", 1, 500, 0.8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +185,7 @@ func TestDaemonEndpoints(t *testing.T) {
 }
 
 func TestMetricsEndpoint(t *testing.T) {
-	d, err := newDaemon("arq", "xapian:0.3+stream", 1, 500, 0.8)
+	d, err := newDaemon("arq", "xapian:0.3+stream", 1, 500, 0.8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +209,7 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestHistoryRingBuffer(t *testing.T) {
-	d, err := newDaemon("unmanaged", "xapian:0.2+stream", 1, 100, 0.8)
+	d, err := newDaemon("unmanaged", "xapian:0.2+stream", 1, 100, 0.8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +225,7 @@ func TestHistoryRingBuffer(t *testing.T) {
 }
 
 func TestDaemonLoadEndpoint(t *testing.T) {
-	d, err := newDaemon("unmanaged", "xapian:0.3+stream", 1, 500, 0.8)
+	d, err := newDaemon("unmanaged", "xapian:0.3+stream", 1, 500, 0.8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,5 +262,39 @@ func TestSanitize(t *testing.T) {
 	}
 	if got := sanitize(math.Inf(1)); got != -1 {
 		t.Errorf("Inf -> %g, want -1", got)
+	}
+}
+
+// TestDaemonSurvivesChaosPlan drives the daemon through a plan combining a
+// strategy panic, failed applies and a telemetry dropout: no epoch may
+// crash, every fault must be counted, and the allocation in force must stay
+// valid throughout.
+func TestDaemonSurvivesChaosPlan(t *testing.T) {
+	plan, err := faults.Parse("panic@2,apply@3x2,drop@5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := newDaemon("arq", "xapian:0.3,moses:0.2+stream", 1, 500, 0.8, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		d.stepEpoch()
+	}
+	if d.incidents == 0 || d.degraded == 0 {
+		t.Errorf("incidents = %d, degraded = %d; faults went unrecorded", d.incidents, d.degraded)
+	}
+	if err := d.engine.Allocation().Validate(d.engine.Spec(),
+		[]string{"xapian", "moses", "stream"}); err != nil {
+		t.Errorf("allocation invalid after chaos: %v", err)
+	}
+	rec := httptest.NewRecorder()
+	d.handleStatus(rec, httptest.NewRequest(http.MethodGet, "/v1/status", nil))
+	var status map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status["incidents"].(float64) == 0 {
+		t.Error("status endpoint does not report incidents")
 	}
 }

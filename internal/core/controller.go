@@ -14,7 +14,6 @@ import (
 	"ahq/internal/machine"
 	"ahq/internal/metrics"
 	"ahq/internal/sched"
-	"ahq/internal/sim"
 	"ahq/internal/workload"
 )
 
@@ -65,6 +64,14 @@ type EpochRecord struct {
 	LCViolations int
 	QueuedTotal  int
 	DroppedTotal int
+	// TelemetryOK is false when this epoch's observation was dropped,
+	// stale, or corrupt and the previous one was held instead.
+	TelemetryOK bool
+	// Degraded reports whether the controller operated degraded this epoch
+	// (any incident, or an apply suppressed by backoff).
+	Degraded bool
+	// Incidents are this epoch's degradation events, if any.
+	Incidents []Incident
 }
 
 // AppResult is the run-level summary for one application.
@@ -108,14 +115,89 @@ type Result struct {
 	Timeline []EpochRecord
 	// FinalAllocation is the allocation in force when the run ended.
 	FinalAllocation machine.Allocation
+	// Incidents records every degradation event the run survived, in
+	// epoch order (empty on a healthy run).
+	Incidents []Incident
+	// DegradedEpochs counts monitoring intervals (warm-up included) in
+	// which the controller operated degraded: an incident occurred or a
+	// wanted adjustment was suppressed by apply backoff.
+	DegradedEpochs int
+}
+
+// Degradation policy bounds (DESIGN.md §7). An allocation rejection is
+// retried on the strategy's next decisions for maxApplyRetries consecutive
+// epochs before the controller re-asserts the last-known-good allocation;
+// if even that is rejected the actuator itself is down and applies are
+// suppressed for an exponentially growing, capped number of epochs.
+const (
+	maxApplyRetries  = 3
+	maxBackoffEpochs = 8
+)
+
+// safeInit calls strategy.Init, converting a panic into a recorded message
+// so a misbehaving strategy cannot crash the run before it starts.
+func safeInit(s sched.Strategy, spec machine.Spec, apps []sched.AppSpec) (alloc machine.Allocation, panicMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicMsg = fmt.Sprint(r)
+		}
+	}()
+	return s.Init(spec, apps), ""
+}
+
+// safeDecide calls strategy.Decide, converting a panic into a recorded
+// message; the caller holds the current allocation in that case.
+func safeDecide(s sched.Strategy, t sched.Telemetry, cur machine.Allocation) (next machine.Allocation, panicMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicMsg = fmt.Sprint(r)
+		}
+	}()
+	return s.Decide(t, cur), ""
+}
+
+// corruptWindows reports why an epoch's windows are physically impossible
+// ("" when plausible): completions with NaN latency, negative latency, or
+// NaN/negative BE IPC. Such windows come from a corrupted telemetry path
+// and must not reach the entropy computation or be mistaken for starvation.
+func corruptWindows(ws []sched.AppWindow) string {
+	for _, w := range ws {
+		if w.Spec.Class == workload.LC {
+			if w.Completed > 0 && math.IsNaN(w.P95Ms) {
+				return w.Spec.Name + ": completions with NaN p95"
+			}
+			if !math.IsNaN(w.P95Ms) && w.P95Ms < 0 {
+				return w.Spec.Name + ": negative p95"
+			}
+		} else if math.IsNaN(w.IPC) || w.IPC < 0 {
+			return w.Spec.Name + ": NaN or negative IPC"
+		}
+	}
+	return ""
 }
 
 // Run drives the engine under the strategy for warm-up plus the measured
 // horizon and aggregates the results.
-func Run(engine *sim.Engine, strategy sched.Strategy, opts Options) (*Result, error) {
+//
+// Run degrades instead of dying: a strategy panic holds the in-force
+// allocation, a mid-run allocation rejection is retried and then replaced
+// by the last-known-good allocation, and dropped/stale/corrupt telemetry
+// holds the previous epoch's observation and entropy rather than feeding
+// NaN to strategies. Every such event is recorded in Result.Incidents. The
+// only remaining error return after a successful start is impossible input
+// (an initial allocation the node rejects), which is a configuration error
+// rather than a runtime fault.
+func Run(engine Engine, strategy sched.Strategy, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	specs := engine.AppSpecs()
-	alloc := strategy.Init(engine.Spec(), specs)
+	res := &Result{Strategy: strategy.Name()}
+	alloc, initPanic := safeInit(strategy, engine.Spec(), specs)
+	if initPanic != "" {
+		// Degrade to the allocation already in force (the engine starts
+		// unmanaged), the safest state we can guarantee exists.
+		res.Incidents = append(res.Incidents, Incident{Epoch: -1, Kind: IncidentStrategyPanic, Detail: initPanic})
+		alloc = engine.Allocation()
+	}
 	if err := engine.SetAllocation(alloc); err != nil {
 		return nil, fmt.Errorf("core: %s initial allocation rejected: %w", strategy.Name(), err)
 	}
@@ -124,7 +206,6 @@ func Run(engine *sim.Engine, strategy sched.Strategy, opts Options) (*Result, er
 	totalEpochs := int(math.Ceil((opts.WarmupMs + opts.DurationMs) / opts.EpochMs))
 	warmEpochs := int(math.Ceil(opts.WarmupMs / opts.EpochMs))
 
-	res := &Result{Strategy: strategy.Name()}
 	type accum struct {
 		p95   []float64
 		ipc   []float64
@@ -139,54 +220,105 @@ func Run(engine *sim.Engine, strategy sched.Strategy, opts Options) (*Result, er
 	var esSum, elcSum, ebeSum float64
 	measured := 0
 
+	// Degradation state: the last allocation the node accepted, the last
+	// healthy telemetry (held over fault epochs), and the retry/backoff
+	// counters of the apply path.
+	lastGood := engine.Allocation()
+	heldELC, heldEBE, heldES := math.NaN(), math.NaN(), math.NaN()
+	var heldApps []sched.AppWindow
+	lastNowMs := engine.NowMs()
+	rejectStreak, backoffLen, backoffUntil := 0, 0, 0
+
 	for epoch := 0; epoch < totalEpochs; epoch++ {
 		if epoch == warmEpochs {
 			engine.ResetRunStats()
 		}
+		epochIncidents := len(res.Incidents)
 		windows := engine.RunWindow(opts.EpochMs)
-		tel := sched.Telemetry{
-			TimeMs: engine.NowMs(),
-			Epoch:  epoch,
-			Apps:   orderWindows(windows, specs),
+		nowMs := engine.NowMs()
+
+		winOK := true
+		switch {
+		case len(windows) == 0:
+			winOK = false
+			res.Incidents = append(res.Incidents, Incident{Epoch: epoch,
+				Kind: IncidentTelemetryDropped, Detail: "no windows delivered"})
+		case nowMs <= lastNowMs:
+			winOK = false
+			res.Incidents = append(res.Incidents, Incident{Epoch: epoch,
+				Kind: IncidentTelemetryStale, Detail: fmt.Sprintf("window timestamp %.0f ms did not advance", nowMs)})
+		default:
+			if why := corruptWindows(windows); why != "" {
+				winOK = false
+				res.Incidents = append(res.Incidents, Incident{Epoch: epoch,
+					Kind: IncidentTelemetryCorrupt, Detail: why})
+			}
 		}
-		lcS, beS := SamplesFromWindows(tel.Apps)
-		elc, ebe, es, err := sys.Compute(lcS, beS)
-		if err == nil {
-			tel.ELC, tel.EBE, tel.ES = elc, ebe, es
+		if nowMs > lastNowMs {
+			lastNowMs = nowMs
+		}
+
+		tel := sched.Telemetry{Epoch: epoch, TelemetryOK: winOK}
+		if winOK {
+			tel.TimeMs = nowMs
+			tel.Apps = orderWindows(windows, specs)
+			lcS, beS := SamplesFromWindows(tel.Apps)
+			elc, ebe, es, err := sys.Compute(lcS, beS)
+			if err == nil {
+				tel.ELC, tel.EBE, tel.ES = elc, ebe, es
+				heldELC, heldEBE, heldES = elc, ebe, es
+			} else {
+				// Plausible windows but no computable entropy: hold the
+				// previous value so strategies never see NaN mid-run.
+				tel.TelemetryOK = false
+				tel.ELC, tel.EBE, tel.ES = heldELC, heldEBE, heldES
+				res.Incidents = append(res.Incidents, Incident{Epoch: epoch,
+					Kind: IncidentEntropyHeld, Detail: err.Error()})
+			}
+			heldApps = tel.Apps
 		} else {
-			tel.ELC, tel.EBE, tel.ES = math.NaN(), math.NaN(), math.NaN()
+			// Hold the previous healthy observation; before any healthy
+			// epoch exists the apps are empty and the entropies NaN.
+			tel.TimeMs = lastNowMs
+			tel.Apps = heldApps
+			tel.ELC, tel.EBE, tel.ES = heldELC, heldEBE, heldES
 		}
 
 		inMeasure := epoch >= warmEpochs
-		if inMeasure && err == nil {
-			elcSum += elc
-			ebeSum += ebe
-			esSum += es
+		entropyOK := winOK && tel.TelemetryOK
+		if inMeasure && entropyOK {
+			elcSum += tel.ELC
+			ebeSum += tel.EBE
+			esSum += tel.ES
 			measured++
 		}
 
+		// Per-application accumulation only for genuinely fresh windows;
+		// held (replayed) observations must not be double counted.
 		violations := 0
 		queued, dropped := 0, 0
-		for _, w := range tel.Apps {
-			a := acc[w.Spec.Name]
-			if w.Spec.Class == workload.LC {
-				queued += w.QueueLen
-				dropped += w.Dropped
-				if inMeasure {
-					if !math.IsNaN(w.P95Ms) {
-						a.p95 = append(a.p95, w.P95Ms)
-					}
-					a.compl += w.Completed
-					a.drops += w.Dropped
-					if w.Violates() {
-						a.viol++
+		if winOK {
+			for _, w := range tel.Apps {
+				a := acc[w.Spec.Name]
+				if w.Spec.Class == workload.LC {
+					queued += w.QueueLen
+					dropped += w.Dropped
+					if inMeasure {
+						if !math.IsNaN(w.P95Ms) {
+							a.p95 = append(a.p95, w.P95Ms)
+						}
+						a.compl += w.Completed
+						a.drops += w.Dropped
+						if w.Violates() {
+							a.viol++
+							violations++
+						}
+					} else if w.Violates() {
 						violations++
 					}
-				} else if w.Violates() {
-					violations++
+				} else if inMeasure {
+					a.ipc = append(a.ipc, w.IPC)
 				}
-			} else if inMeasure {
-				a.ipc = append(a.ipc, w.IPC)
 			}
 		}
 		if inMeasure {
@@ -195,16 +327,50 @@ func Run(engine *sim.Engine, strategy sched.Strategy, opts Options) (*Result, er
 		}
 
 		cur := engine.Allocation()
-		next := strategy.Decide(tel, cur)
+		next, panicMsg := safeDecide(strategy, tel, cur)
+		if panicMsg != "" {
+			res.Incidents = append(res.Incidents, Incident{Epoch: epoch,
+				Kind: IncidentStrategyPanic, Detail: panicMsg})
+			next = cur // hold the in-force allocation
+		}
 		adjusted := !next.Equal(cur)
+		suppressed := false
 		if adjusted {
-			if err := engine.SetAllocation(next); err != nil {
-				return nil, fmt.Errorf("core: %s allocation rejected at epoch %d: %w",
-					strategy.Name(), epoch, err)
+			if epoch < backoffUntil {
+				// The actuator was recently rejecting even the known-good
+				// allocation; do not hammer it.
+				adjusted, suppressed = false, true
+			} else if err := engine.SetAllocation(next); err == nil {
+				rejectStreak, backoffLen = 0, 0
+				lastGood = engine.Allocation()
+				if inMeasure {
+					res.Adjustments++
+				}
+			} else {
+				adjusted = false
+				rejectStreak++
+				res.Incidents = append(res.Incidents, Incident{Epoch: epoch,
+					Kind: IncidentAllocationRejected, Detail: err.Error()})
+				if rejectStreak >= maxApplyRetries {
+					rejectStreak = 0
+					if fbErr := engine.SetAllocation(lastGood); fbErr != nil {
+						res.Incidents = append(res.Incidents, Incident{Epoch: epoch,
+							Kind: IncidentFallbackRejected, Detail: fbErr.Error()})
+						if backoffLen == 0 {
+							backoffLen = 1
+						} else if backoffLen*2 <= maxBackoffEpochs {
+							backoffLen *= 2
+						} else {
+							backoffLen = maxBackoffEpochs
+						}
+						backoffUntil = epoch + 1 + backoffLen
+					}
+				}
 			}
-			if inMeasure {
-				res.Adjustments++
-			}
+		}
+		degraded := suppressed || len(res.Incidents) > epochIncidents
+		if degraded {
+			res.DegradedEpochs++
 		}
 		if opts.RecordTimeline {
 			res.Timeline = append(res.Timeline, EpochRecord{
@@ -218,6 +384,9 @@ func Run(engine *sim.Engine, strategy sched.Strategy, opts Options) (*Result, er
 				LCViolations: violations,
 				QueuedTotal:  queued,
 				DroppedTotal: dropped,
+				TelemetryOK:  tel.TelemetryOK,
+				Degraded:     degraded,
+				Incidents:    res.Incidents[epochIncidents:len(res.Incidents):len(res.Incidents)],
 			})
 		}
 	}

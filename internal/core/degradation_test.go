@@ -1,0 +1,336 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+	"ahq/internal/sched/static"
+	"ahq/internal/sim"
+)
+
+// hookEngine wraps the simulator with overridable failure points so the
+// degradation paths can be exercised without importing the faults package
+// (which imports core and would cycle).
+type hookEngine struct {
+	*sim.Engine
+	epoch     int
+	setAlloc  func(epoch int, a machine.Allocation) error
+	runWindow func(epoch int, win []sched.AppWindow) []sched.AppWindow
+	nowMs     func(epoch int, now float64) float64
+	applies   int
+}
+
+// SetAllocation passes the controller epoch of the window that preceded
+// this apply to the hook (-1 for the initial pre-loop apply).
+func (h *hookEngine) SetAllocation(a machine.Allocation) error {
+	h.applies++
+	if h.setAlloc != nil {
+		if err := h.setAlloc(h.epoch-1, a); err != nil {
+			return err
+		}
+	}
+	return h.Engine.SetAllocation(a)
+}
+
+func (h *hookEngine) RunWindow(windowMs float64) []sched.AppWindow {
+	h.epoch++
+	win := h.Engine.RunWindow(windowMs)
+	if h.runWindow != nil {
+		return h.runWindow(h.epoch-1, win)
+	}
+	return win
+}
+
+func (h *hookEngine) NowMs() float64 {
+	now := h.Engine.NowMs()
+	if h.nowMs != nil {
+		return h.nowMs(h.epoch-1, now)
+	}
+	return now
+}
+
+// flipflop forces an adjustment every epoch: whatever allocation is in
+// force, it proposes the other of two valid layouts, so apply-path faults
+// always have an apply to hit even when earlier applies were rejected.
+type flipflop struct {
+	spec machine.Spec
+	lc   []string
+	be   []string
+}
+
+func (*flipflop) Name() string { return "flipflop" }
+
+func (f *flipflop) Init(spec machine.Spec, apps []sched.AppSpec) machine.Allocation {
+	f.spec, f.lc, f.be = spec, sched.LCNamesOf(apps), sched.BENamesOf(apps)
+	return machine.EvenPartition(spec, f.lc, f.be)
+}
+
+func (f *flipflop) Decide(_ sched.Telemetry, cur machine.Allocation) machine.Allocation {
+	even := machine.EvenPartition(f.spec, f.lc, f.be)
+	if !reflect.DeepEqual(cur, even) {
+		return even
+	}
+	return machine.AllShared(f.spec, machine.FairShare, append(append([]string{}, f.lc...), f.be...))
+}
+
+// recorder observes every telemetry handed to Decide without adjusting.
+type recorder struct {
+	static.Unmanaged
+	seen []sched.Telemetry
+}
+
+func (r *recorder) Decide(t sched.Telemetry, cur machine.Allocation) machine.Allocation {
+	r.seen = append(r.seen, t)
+	return cur
+}
+
+// panicAt panics inside Decide at the chosen epochs; Init delegates.
+type panicAt struct {
+	inner  sched.Strategy
+	epochs map[int]bool
+}
+
+func (p *panicAt) Name() string { return p.inner.Name() }
+func (p *panicAt) Init(spec machine.Spec, apps []sched.AppSpec) machine.Allocation {
+	return p.inner.Init(spec, apps)
+}
+func (p *panicAt) Decide(t sched.Telemetry, cur machine.Allocation) machine.Allocation {
+	if p.epochs[t.Epoch] {
+		panic("test: injected decide panic")
+	}
+	return p.inner.Decide(t, cur)
+}
+
+// panicInit panics during Init itself.
+type panicInit struct{ static.Unmanaged }
+
+func (panicInit) Init(machine.Spec, []sched.AppSpec) machine.Allocation {
+	panic("test: injected init panic")
+}
+
+func TestInitialAllocationRejectedIsAnError(t *testing.T) {
+	h := &hookEngine{Engine: testEngine(t, 1)}
+	h.setAlloc = func(int, machine.Allocation) error {
+		return errors.New("node down")
+	}
+	if _, err := Run(h, static.Unmanaged{}, quickOpts()); err == nil {
+		t.Fatal("want error when the initial allocation is rejected")
+	}
+}
+
+func TestInitPanicDegradesToCurrentAllocation(t *testing.T) {
+	h := &hookEngine{Engine: testEngine(t, 1)}
+	res, err := Run(h, panicInit{}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.CountIncidents(IncidentStrategyPanic); got != 1 {
+		t.Fatalf("panic incidents = %d, want 1", got)
+	}
+	if res.Incidents[0].Epoch != -1 {
+		t.Errorf("init panic recorded at epoch %d, want -1", res.Incidents[0].Epoch)
+	}
+	if res.Epochs == 0 {
+		t.Error("run did not complete after init panic")
+	}
+}
+
+func TestDecidePanicHoldsAllocation(t *testing.T) {
+	h := &hookEngine{Engine: testEngine(t, 1)}
+	res, err := Run(h, &panicAt{inner: &flipflop{}, epochs: map[int]bool{5: true}}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.CountIncidents(IncidentStrategyPanic); got != 1 {
+		t.Fatalf("panic incidents = %d, want 1", got)
+	}
+	if res.Incidents[0].Epoch != 5 {
+		t.Errorf("panic recorded at epoch %d, want 5", res.Incidents[0].Epoch)
+	}
+	if res.DegradedEpochs != 1 {
+		t.Errorf("DegradedEpochs = %d, want 1", res.DegradedEpochs)
+	}
+}
+
+func TestMidRunRejectionFallsBackAndBacksOff(t *testing.T) {
+	h := &hookEngine{Engine: testEngine(t, 1)}
+	// Every apply after the initial one fails, including the fallback to
+	// last-known-good: the actuator is persistently down.
+	h.setAlloc = func(epoch int, _ machine.Allocation) error {
+		if epoch >= 0 {
+			return errors.New("node down")
+		}
+		return nil
+	}
+	res, err := Run(h, &flipflop{}, quickOpts())
+	if err != nil {
+		t.Fatalf("mid-run rejection must degrade, not abort: %v", err)
+	}
+	rejected := res.CountIncidents(IncidentAllocationRejected)
+	fallback := res.CountIncidents(IncidentFallbackRejected)
+	if rejected == 0 || fallback == 0 {
+		t.Fatalf("rejected = %d, fallback = %d; want both > 0", rejected, fallback)
+	}
+	// quickOpts runs 16 epochs total (2 s warm-up + 6 s at 500 ms) and
+	// flipflop proposes a change on every one of them; with a dead
+	// actuator each epoch is degraded, but exponential backoff must have
+	// suppressed some of those applies instead of hammering the node.
+	const totalEpochs = 16
+	if res.DegradedEpochs != totalEpochs {
+		t.Errorf("DegradedEpochs = %d, want %d", res.DegradedEpochs, totalEpochs)
+	}
+	if rejected+fallback >= totalEpochs {
+		t.Errorf("%d apply incidents over %d epochs; backoff never engaged",
+			rejected+fallback, totalEpochs)
+	}
+	if res.Adjustments != 0 {
+		t.Errorf("Adjustments = %d, want 0 when every apply fails", res.Adjustments)
+	}
+}
+
+func TestFallbackRestoresLastKnownGood(t *testing.T) {
+	h := &hookEngine{Engine: testEngine(t, 1)}
+	// The first three applies from epoch 4 on fail — exactly enough to
+	// exhaust the retry budget — and the fallback apply that follows
+	// succeeds, restoring the last accepted allocation.
+	fails := 0
+	h.setAlloc = func(epoch int, _ machine.Allocation) error {
+		if epoch >= 4 && fails < 3 {
+			fails++
+			return errors.New("transient")
+		}
+		return nil
+	}
+	res, err := Run(h, &flipflop{}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.CountIncidents(IncidentAllocationRejected); got != 3 {
+		t.Errorf("rejected incidents = %d, want 3", got)
+	}
+	if got := res.CountIncidents(IncidentFallbackRejected); got != 0 {
+		t.Errorf("fallback-rejected incidents = %d, want 0 (fallback succeeds)", got)
+	}
+	if err := res.FinalAllocation.Validate(h.Spec(), appNames(h.AppSpecs())); err != nil {
+		t.Errorf("final allocation invalid: %v", err)
+	}
+}
+
+func TestDroppedTelemetryIsHeldNotNaN(t *testing.T) {
+	h := &hookEngine{Engine: testEngine(t, 1)}
+	h.runWindow = func(epoch int, win []sched.AppWindow) []sched.AppWindow {
+		if epoch == 6 {
+			return nil
+		}
+		return win
+	}
+	rec := &recorder{}
+	res, err := Run(h, rec, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.CountIncidents(IncidentTelemetryDropped); got != 1 {
+		t.Fatalf("dropped incidents = %d, want 1", got)
+	}
+	tel := rec.seen[6]
+	if tel.TelemetryOK {
+		t.Error("epoch 6: TelemetryOK = true for a dropped window")
+	}
+	if math.IsNaN(tel.ES) {
+		t.Error("epoch 6: held ES is NaN after healthy epochs")
+	}
+	if len(tel.Apps) == 0 {
+		t.Error("epoch 6: held Apps empty after healthy epochs")
+	}
+	if tel.ES != rec.seen[5].ES {
+		t.Errorf("held ES = %g, want previous epoch's %g", tel.ES, rec.seen[5].ES)
+	}
+	if !rec.seen[7].TelemetryOK {
+		t.Error("epoch 7: telemetry did not recover after the dropout")
+	}
+}
+
+func TestStaleTelemetryIsDetected(t *testing.T) {
+	h := &hookEngine{Engine: testEngine(t, 1)}
+	var prev []sched.AppWindow
+	h.runWindow = func(epoch int, win []sched.AppWindow) []sched.AppWindow {
+		if epoch == 6 {
+			return prev
+		}
+		prev = append(prev[:0], win...)
+		return win
+	}
+	h.nowMs = func(epoch int, now float64) float64 {
+		if epoch == 6 {
+			return now - 500 // clock did not advance: replayed snapshot
+		}
+		return now
+	}
+	res, err := Run(h, &recorder{}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.CountIncidents(IncidentTelemetryStale); got != 1 {
+		t.Errorf("stale incidents = %d, want 1", got)
+	}
+}
+
+func TestCorruptTelemetryIsDetected(t *testing.T) {
+	h := &hookEngine{Engine: testEngine(t, 1)}
+	h.runWindow = func(epoch int, win []sched.AppWindow) []sched.AppWindow {
+		if epoch != 6 {
+			return win
+		}
+		out := append([]sched.AppWindow(nil), win...)
+		for i := range out {
+			out[i].IPC = math.NaN()
+			if out[i].Completed > 0 {
+				out[i].P95Ms = math.NaN()
+			}
+		}
+		return out
+	}
+	rec := &recorder{}
+	res, err := Run(h, rec, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.CountIncidents(IncidentTelemetryCorrupt); got != 1 {
+		t.Errorf("corrupt incidents = %d, want 1", got)
+	}
+	for _, tel := range rec.seen {
+		if tel.Epoch > 0 && math.IsNaN(tel.ES) {
+			t.Errorf("epoch %d: strategy saw NaN ES", tel.Epoch)
+		}
+	}
+}
+
+func TestZeroMeasuredEpochsAggregatesClean(t *testing.T) {
+	// 9999 ms warm-up and a 1 ms horizon round to the same epoch count:
+	// nothing is measured, and the aggregation must stay finite.
+	opts := Options{EpochMs: 500, WarmupMs: 9_999, DurationMs: 1}
+	res, err := Run(testEngine(t, 1), static.Unmanaged{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 0 {
+		t.Fatalf("measured epochs = %d, want 0", res.Epochs)
+	}
+	for _, v := range []float64{res.MeanELC, res.MeanEBE, res.MeanES} {
+		if math.IsNaN(v) {
+			t.Error("measured-epoch mean is NaN with zero measured epochs")
+		}
+	}
+}
+
+func appNames(specs []sched.AppSpec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}

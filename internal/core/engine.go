@@ -1,0 +1,39 @@
+package core
+
+import (
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+	"ahq/internal/sim"
+)
+
+// Engine is the node the controller drives: the simulator (*sim.Engine) in
+// this reproduction, or a fault-injecting wrapper around it
+// (internal/faults). On the paper's testbed it would be the resctrl-backed
+// host. The controller only assumes the contract below; in particular
+// RunWindow may return no windows (telemetry dropped) and NowMs may fail to
+// advance (telemetry replayed stale), both of which Run degrades through
+// instead of aborting.
+type Engine interface {
+	// Spec describes the controllable node.
+	Spec() machine.Spec
+	// AppSpecs returns the telemetry specs, LC first then BE.
+	AppSpecs() []sched.AppSpec
+	// Allocation returns (a copy of) the allocation currently in force.
+	Allocation() machine.Allocation
+	// SetAllocation validates and applies a new partitioning. A failed
+	// apply must leave the previous allocation in force.
+	SetAllocation(machine.Allocation) error
+	// RunWindow advances one monitoring interval and returns each
+	// application's observation for it. The returned slice may be backed
+	// by an engine-owned buffer that the next call reuses.
+	RunWindow(windowMs float64) []sched.AppWindow
+	// NowMs is the timestamp of the most recent observation.
+	NowMs() float64
+	// ResetRunStats clears the run-level accumulators at warm-up end.
+	ResetRunStats()
+	// RunP95 and RunIPC report run-level aggregates since ResetRunStats.
+	RunP95(app string) float64
+	RunIPC(app string) float64
+}
+
+var _ Engine = (*sim.Engine)(nil)

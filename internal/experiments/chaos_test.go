@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosDeterministicAcrossRuns: fault injection must not cost the
+// harness its byte-identical-output guarantee — two seeded chaos runs (and
+// any parallelism level) render exactly the same report.
+func TestChaosDeterministicAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs controller sweeps; not -short")
+	}
+	d, ok := Lookup("chaos")
+	if !ok {
+		t.Fatal("chaos experiment not registered")
+	}
+	render := func(parallel int) string {
+		res, err := d.Run(RunConfig{Seed: 42, Quick: true, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		res.Fprint(&b)
+		return b.String()
+	}
+	first := render(1)
+	if again := render(1); first != again {
+		t.Error("two identical chaos runs rendered differently")
+	}
+	if par := render(4); first != par {
+		t.Error("chaos renders differently at parallel 1 vs 4")
+	}
+	// The report must carry the accounting proof, and no run may end on
+	// an invalid allocation.
+	if !strings.Contains(first, "incident accounting") {
+		t.Error("report missing the incident-accounting table")
+	}
+	if strings.Contains(first, "INVALID") {
+		t.Error("a faulted run ended on an invalid allocation")
+	}
+}
+
+// TestChaosScenariosParse keeps the scenario table honest: every plan spec
+// must parse and round-trip through its canonical form.
+func TestChaosScenariosParse(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sc := range chaosScenarios {
+		if seen[sc.name] {
+			t.Errorf("duplicate scenario %q", sc.name)
+		}
+		seen[sc.name] = true
+	}
+	if !seen["none"] {
+		t.Error("scenario table missing the fault-free baseline")
+	}
+}

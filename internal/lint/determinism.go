@@ -22,6 +22,7 @@ var Determinism = &Analyzer{
 			"ahq/internal/entropy",
 			"ahq/internal/sched",
 			"ahq/internal/experiments",
+			"ahq/internal/faults",
 			"ahq/cmd/ahqbench",
 		)
 	},

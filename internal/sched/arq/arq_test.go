@@ -215,3 +215,37 @@ func TestZeroConfigGetsDefaults(t *testing.T) {
 		t.Errorf("zero config not defaulted: %+v", s.cfg)
 	}
 }
+
+// TestHeldTelemetryEpochIsBenign covers the controller's degraded epochs:
+// when telemetry is held (TelemetryOK false, entropy repeated from the last
+// healthy epoch) ARQ must neither roll back on the repeated entropy nor
+// corrupt its rollback state, and a NaN entropy — possible before the first
+// healthy epoch — must be ignored entirely.
+func TestHeldTelemetryEpochIsBenign(t *testing.T) {
+	s := Default()
+	cur := s.Init(machine.DefaultSpec(), specs())
+
+	// NaN ES before any healthy epoch: no rollback, lastES stays unset.
+	next := s.Decide(tel(0, math.NaN(), 9.0, 3.0), cur)
+	if next.Equal(cur) {
+		t.Fatal("no adjustment for a violating app under NaN ES")
+	}
+
+	// Epoch 1 is healthy and establishes lastES.
+	healthy := tel(1, 0.30, 9.0, 3.0)
+	healthy.TelemetryOK = true
+	after := s.Decide(healthy, next)
+
+	// Epoch 2 is a held epoch: the controller repeats epoch 1's entropy
+	// with TelemetryOK false. Identical entropy is within tolerance, so
+	// the strategy must not roll back to the pre-adjustment allocation.
+	held := tel(2, 0.30, 9.0, 3.0)
+	held.TelemetryOK = false
+	got := s.Decide(held, after)
+	if got.Equal(next) && !after.Equal(next) {
+		t.Error("held epoch triggered a rollback")
+	}
+	if err := got.Validate(machine.DefaultSpec(), []string{"xapian", "moses", "stream"}); err != nil {
+		t.Fatalf("held epoch produced invalid allocation: %v", err)
+	}
+}

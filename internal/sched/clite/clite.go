@@ -87,14 +87,20 @@ func (s *Strategy) Name() string { return "clite" }
 func (s *Strategy) Init(spec machine.Spec, apps []sched.AppSpec) machine.Allocation {
 	s.spec = spec
 	s.apps = apps
+	s.infeasible = false
 	opt, err := bayesopt.NewOptimizer(s.dim())
 	if err != nil {
-		panic("clite: " + err.Error()) // dim >= 1 whenever there are apps
+		// A pathological dimension (no applications, or a solver the model
+		// cannot be built for) must degrade, not crash the controller:
+		// without a model there is nothing to search, so hold the fallback
+		// partition for the whole run (DESIGN.md §7).
+		s.opt = nil
+		s.infeasible = true
+	} else {
+		s.opt = opt
 	}
-	s.opt = opt
 	s.exploiting = false
 	s.staleRuns = 0
-	s.infeasible = false
 	for r := 0; r < machine.NumResources; r++ {
 		if spec.Capacity(machine.Resource(r)) < len(apps) {
 			s.infeasible = true
@@ -107,7 +113,7 @@ func (s *Strategy) Init(spec machine.Spec, apps []sched.AppSpec) machine.Allocat
 
 // Decide implements sched.Strategy.
 func (s *Strategy) Decide(t sched.Telemetry, current machine.Allocation) machine.Allocation {
-	if s.infeasible {
+	if s.infeasible || s.opt == nil {
 		return current
 	}
 	score, _ := s.objective(t)

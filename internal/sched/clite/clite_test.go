@@ -2,6 +2,7 @@ package clite
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -240,5 +241,59 @@ func TestInitialConfigsValid(t *testing.T) {
 	n := s.nApps()
 	if cfg[0] <= cfg[n-1] { // cores: xapian vs stream
 		t.Errorf("LC-weighted bootstrap not LC-weighted: %v", cfg[:n])
+	}
+}
+
+// TestSolverFailureDegradesToHold is the regression test for the removed
+// Init panic: when the optimizer cannot be built the strategy must hold its
+// fallback partition through every Decide instead of crashing the
+// controller, and a later successful Init must clear the degraded state.
+func TestSolverFailureDegradesToHold(t *testing.T) {
+	s := newTest()
+	alloc := machine.EvenPartition(machine.DefaultSpec(),
+		[]string{"xapian", "moses"}, []string{"stream"})
+	// Simulate bayesopt.NewOptimizer failing during Init.
+	s.opt = nil
+	s.infeasible = true
+	tel := sched.Telemetry{Apps: []sched.AppWindow{
+		{Spec: specs()[0], P95Ms: 9.0},
+		{Spec: specs()[1], P95Ms: 3.0},
+		{Spec: specs()[2], IPC: 0.4},
+	}}
+	for epoch := 0; epoch < 5; epoch++ {
+		tel.Epoch = epoch
+		got := s.Decide(tel, alloc)
+		if err := got.Validate(machine.DefaultSpec(), appNames()); err != nil {
+			t.Fatalf("epoch %d: degraded Decide returned invalid allocation: %v", epoch, err)
+		}
+		if !reflect.DeepEqual(got, alloc) {
+			t.Fatalf("epoch %d: degraded Decide did not hold the current allocation", epoch)
+		}
+	}
+	// Re-initialising on a sane node recovers: the stale degraded flag
+	// must not leak into the fresh run.
+	s.Init(machine.DefaultSpec(), specs())
+	if s.infeasible || s.opt == nil {
+		t.Error("Init did not clear the degraded state")
+	}
+}
+
+// TestInfeasibleSpecHoldsPartition: a node with fewer units than
+// applications cannot be strictly partitioned; Init must mark the run
+// infeasible (not panic) and Decide must hold.
+func TestInfeasibleSpecHoldsPartition(t *testing.T) {
+	s := Default()
+	spec := machine.Spec{Cores: 2, LLCWays: 2, MemBWUnits: 2, MemBWGBps: 10}
+	alloc := s.Init(spec, specs())
+	if !s.infeasible {
+		t.Fatal("2-unit node with 3 applications not marked infeasible")
+	}
+	got := s.Decide(sched.Telemetry{Apps: []sched.AppWindow{
+		{Spec: specs()[0], P95Ms: 9.0},
+		{Spec: specs()[1], P95Ms: 3.0},
+		{Spec: specs()[2], IPC: 0.4},
+	}}, alloc)
+	if !reflect.DeepEqual(got, alloc) {
+		t.Error("infeasible Decide did not hold the current allocation")
 	}
 }

@@ -81,6 +81,15 @@ type Telemetry struct {
 	// ELC, EBE and ES are the epoch's entropy values, computed by the
 	// controller; strategies using entropy feedback (ARQ) read ES.
 	ELC, EBE, ES float64
+	// TelemetryOK is true when this epoch's observation is fresh and its
+	// entropy was computed from it. When false the controller is degraded
+	// — the window was dropped, stale, or corrupt, or the entropy
+	// computation failed — and Apps/ELC/EBE/ES hold the last healthy
+	// epoch's values instead (NaN entropies and empty Apps only before
+	// the first healthy epoch). Strategies therefore never observe a NaN
+	// entropy that a healthy epoch preceded; conservative strategies may
+	// additionally choose to hold their allocation while it is false.
+	TelemetryOK bool
 }
 
 // App returns the window for the named application, or nil.
