@@ -9,6 +9,12 @@
 // comparisons are recorded.
 //
 //	go test -run '^$' -bench . -benchmem -count 6 . | benchjson -o BENCH_1.json
+//
+// -in replays an already-written artifact instead of reading stdin, and
+// -gate name=pct exits nonzero when that benchmark's median ns/op sits more
+// than pct percent above its -before value — the CI bench-regression smoke:
+//
+//	benchjson -in BENCH_2.json -before BENCH_1.json -gate BenchmarkHeadline=20
 package main
 
 import (
@@ -48,67 +54,72 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+(.*)$`)
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	before := flag.String("before", "", "previous benchjson artifact to compare against")
+	in := flag.String("in", "", "replay an existing artifact instead of reading bench output on stdin")
+	gate := flag.String("gate", "", "name=pct: fail if that benchmark's ns/op exceeds its -before value by more than pct percent")
 	flag.Parse()
-
-	samples := map[string]map[string][]float64{}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
-		}
-		name, metrics := m[1], strings.Fields(m[2])
-		for i := 0; i+1 < len(metrics); i += 2 {
-			v, err := strconv.ParseFloat(metrics[i], 64)
-			if err != nil {
-				continue
-			}
-			if samples[name] == nil {
-				samples[name] = map[string][]float64{}
-			}
-			unit := metrics[i+1]
-			samples[name][unit] = append(samples[name][unit], v)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		fatal(err)
-	}
-	if len(samples) == 0 {
-		fatal(fmt.Errorf("no benchmark result lines on stdin"))
-	}
 
 	var prior map[string]Entry
 	if *before != "" {
-		data, err := os.ReadFile(*before)
-		if err != nil {
-			fatal(err)
-		}
-		var a Artifact
-		if err := json.Unmarshal(data, &a); err != nil {
-			fatal(fmt.Errorf("%s: %w", *before, err))
-		}
-		prior = a.Benchmarks
+		prior = loadArtifact(*before).Benchmarks
 	}
 
 	art := Artifact{Schema: "ahq-bench-v1", Benchmarks: map[string]Entry{}}
-	for name, units := range samples {
-		ns, ok := units["ns/op"]
-		if !ok {
-			continue
+	if *in != "" {
+		art.Benchmarks = loadArtifact(*in).Benchmarks
+		for name, e := range art.Benchmarks {
+			e.BeforeNsPerOp, e.Speedup = nil, nil
+			if p, ok := prior[name]; ok && e.NsPerOp > 0 {
+				e.BeforeNsPerOp = ptr(p.NsPerOp)
+				e.Speedup = ptr(math.Round(p.NsPerOp/e.NsPerOp*100) / 100)
+			}
+			art.Benchmarks[name] = e
 		}
-		e := Entry{NsPerOp: median(ns), Samples: len(ns)}
-		if b, ok := units["B/op"]; ok {
-			e.BPerOp = ptr(median(b))
+	} else {
+		samples := map[string]map[string][]float64{}
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			m := benchLine.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			name, metrics := m[1], strings.Fields(m[2])
+			for i := 0; i+1 < len(metrics); i += 2 {
+				v, err := strconv.ParseFloat(metrics[i], 64)
+				if err != nil {
+					continue
+				}
+				if samples[name] == nil {
+					samples[name] = map[string][]float64{}
+				}
+				unit := metrics[i+1]
+				samples[name][unit] = append(samples[name][unit], v)
+			}
 		}
-		if a, ok := units["allocs/op"]; ok {
-			e.AllocsPerOp = ptr(median(a))
+		if err := sc.Err(); err != nil {
+			fatal(err)
 		}
-		if p, ok := prior[name]; ok && e.NsPerOp > 0 {
-			e.BeforeNsPerOp = ptr(p.NsPerOp)
-			e.Speedup = ptr(math.Round(p.NsPerOp/e.NsPerOp*100) / 100)
+		if len(samples) == 0 {
+			fatal(fmt.Errorf("no benchmark result lines on stdin"))
 		}
-		art.Benchmarks[name] = e
+		for name, units := range samples {
+			ns, ok := units["ns/op"]
+			if !ok {
+				continue
+			}
+			e := Entry{NsPerOp: median(ns), Samples: len(ns)}
+			if b, ok := units["B/op"]; ok {
+				e.BPerOp = ptr(median(b))
+			}
+			if a, ok := units["allocs/op"]; ok {
+				e.AllocsPerOp = ptr(median(a))
+			}
+			if p, ok := prior[name]; ok && e.NsPerOp > 0 {
+				e.BeforeNsPerOp = ptr(p.NsPerOp)
+				e.Speedup = ptr(math.Round(p.NsPerOp/e.NsPerOp*100) / 100)
+			}
+			art.Benchmarks[name] = e
+		}
 	}
 
 	data, err := json.MarshalIndent(art, "", "  ")
@@ -116,13 +127,65 @@ func main() {
 		fatal(err)
 	}
 	data = append(data, '\n')
-	if *out == "" {
+	switch {
+	case *out == "":
 		os.Stdout.Write(data)
-		return
+	case *out != os.DevNull:
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+
+	if *gate != "" {
+		if err := checkGate(*gate, art.Benchmarks, prior); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// checkGate enforces a name=pct regression bound against the -before file.
+// A missing benchmark on either side is a hard failure: a gate that cannot
+// find its subject must not pass silently.
+func checkGate(spec string, now, prior map[string]Entry) error {
+	name, pctStr, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("-gate wants name=pct, got %q", spec)
+	}
+	pct, err := strconv.ParseFloat(pctStr, 64)
+	if err != nil || pct < 0 {
+		return fmt.Errorf("-gate percentage %q is not a non-negative number", pctStr)
+	}
+	if prior == nil {
+		return fmt.Errorf("-gate requires -before")
+	}
+	cur, ok := now[name]
+	if !ok {
+		return fmt.Errorf("gate benchmark %s missing from this run", name)
+	}
+	old, ok := prior[name]
+	if !ok {
+		return fmt.Errorf("gate benchmark %s missing from -before artifact", name)
+	}
+	limit := old.NsPerOp * (1 + pct/100)
+	if cur.NsPerOp > limit {
+		return fmt.Errorf("%s regressed: %.0f ns/op vs %.0f before (bound %.0f, +%g%%)",
+			name, cur.NsPerOp, old.NsPerOp, limit, pct)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gate ok: %s %.0f ns/op vs %.0f before (bound %.0f)\n",
+		name, cur.NsPerOp, old.NsPerOp, limit)
+	return nil
+}
+
+func loadArtifact(path string) Artifact {
+	data, err := os.ReadFile(path)
+	if err != nil {
 		fatal(err)
 	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return a
 }
 
 // median returns the lower-middle order statistic, so the reported value is

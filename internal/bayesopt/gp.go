@@ -24,6 +24,11 @@ type GP struct {
 	yMean float64
 	chol  []float64 // lower-triangular factor of K, row-major n*n
 	alpha []float64 // K^{-1} (y - mean)
+
+	// ks and v are Predict's scratch vectors, reused across calls: the
+	// acquisition loop predicts at hundreds of candidates per decision and
+	// neither vector outlives the call.
+	ks, v []float64
 }
 
 // NewGP returns a GP with an RBF kernel
@@ -112,7 +117,11 @@ func (g *GP) Predict(x []float64) (mean, sd float64, err error) {
 	if n == 0 {
 		return 0, math.Sqrt(g.signalVar), nil
 	}
-	ks := make([]float64, n)
+	if cap(g.ks) < n {
+		g.ks = make([]float64, n)
+		g.v = make([]float64, n)
+	}
+	ks := g.ks[:n]
 	for i, xi := range g.xs {
 		ks[i] = g.kernel(x, xi)
 	}
@@ -120,7 +129,7 @@ func (g *GP) Predict(x []float64) (mean, sd float64, err error) {
 	for i := range ks {
 		mean += ks[i] * g.alpha[i]
 	}
-	v := forwardSolve(g.chol, ks, n)
+	v := forwardSolveInto(g.v[:n], g.chol, ks, n)
 	variance := g.kernel(x, x)
 	for i := range v {
 		variance -= v[i] * v[i]
@@ -176,7 +185,11 @@ func cholesky(a []float64, n int) ([]float64, error) {
 
 // forwardSolve solves L x = b for lower-triangular L.
 func forwardSolve(l, b []float64, n int) []float64 {
-	x := make([]float64, n)
+	return forwardSolveInto(make([]float64, n), l, b, n)
+}
+
+// forwardSolveInto is forwardSolve writing into a caller-provided vector.
+func forwardSolveInto(x, l, b []float64, n int) []float64 {
 	for i := 0; i < n; i++ {
 		sum := b[i]
 		for j := 0; j < i; j++ {

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ahq/internal/machine"
+	"ahq/internal/sched"
+	"ahq/internal/sched/arq"
+	"ahq/internal/sim"
+	"ahq/internal/trace"
+	"ahq/internal/workload"
+)
+
+// sameF64 is bitwise sameness with NaN treated equal to NaN — idle epochs
+// legitimately report NaN latencies, which reflect.DeepEqual would reject.
+func sameF64(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func sameWindows(a, b []sched.AppWindow) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Spec != y.Spec || !sameF64(x.P95Ms, y.P95Ms) || !sameF64(x.MeanMs, y.MeanMs) ||
+			x.Completed != y.Completed || x.Dropped != y.Dropped || x.QueueLen != y.QueueLen ||
+			!sameF64(x.OfferedQPS, y.OfferedQPS) || !sameF64(x.IPC, y.IPC) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameResults(a, b []AppResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Spec != y.Spec || !sameF64(x.MeanP95Ms, y.MeanP95Ms) ||
+			x.ViolationEpochs != y.ViolationEpochs ||
+			x.Completed != y.Completed || x.Dropped != y.Dropped ||
+			!sameF64(x.MeanIPC, y.MeanIPC) ||
+			x.LCSample.Name != y.LCSample.Name ||
+			!sameF64(x.LCSample.IdealMs, y.LCSample.IdealMs) ||
+			!sameF64(x.LCSample.MeasuredMs, y.LCSample.MeasuredMs) ||
+			!sameF64(x.LCSample.TargetMs, y.LCSample.TargetMs) ||
+			x.BESample.Name != y.BESample.Name ||
+			!sameF64(x.BESample.SoloIPC, y.BESample.SoloIPC) ||
+			!sameF64(x.BESample.MeasuredIPC, y.BESample.MeasuredIPC) {
+			return false
+		}
+	}
+	return true
+}
+
+// closedLoopMix builds a mostly-idle mix — closed-loop users with long
+// think times plus a sparse stepped load — so the engine's event-driven
+// clock elides real stretches of ticks between epochs.
+func closedLoopMix(t *testing.T, disableFF bool) *sim.Engine {
+	t.Helper()
+	x, m := workload.MustLC("xapian"), workload.MustLC("moses")
+	b := workload.MustBE("fluidanimate")
+	steps := trace.Steps{
+		{StartMs: 0, Frac: 0},
+		{StartMs: 2_000, Frac: 0.25},
+		{StartMs: 5_000, Frac: 0},
+		{StartMs: 9_000, Frac: 0.4},
+	}
+	e, err := sim.New(sim.Config{
+		Spec: machine.DefaultSpec(),
+		Seed: 21,
+		Apps: []sim.AppConfig{
+			{LC: &x, ClosedLoopUsers: 3, ThinkTimeMs: 120},
+			{LC: &m, Load: steps},
+			{BE: &b},
+		},
+		DisableFastForward: disableFF,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEpochPacingToleratesSkippedTicks: the controller's epoch loop — its
+// monitoring cadence, strategy decisions and allocation changes — must be
+// oblivious to whether the engine marched every tick or fast-forwarded
+// across idle stretches. An allocation change mid-run re-opens warm-up and
+// suspends skipping; the runs must still agree bit for bit.
+func TestEpochPacingToleratesSkippedTicks(t *testing.T) {
+	opts := Options{WarmupMs: 2_000, DurationMs: 10_000, RecordTimeline: true}
+	fast, err := Run(closedLoopMix(t, false), arq.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Run(closedLoopMix(t, true), arq.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fast.Epochs != naive.Epochs || fast.Adjustments != naive.Adjustments {
+		t.Fatalf("pacing diverged: %d epochs/%d adjustments (skip) vs %d/%d (naive)",
+			fast.Epochs, fast.Adjustments, naive.Epochs, naive.Adjustments)
+	}
+	for _, cmp := range []struct {
+		name       string
+		fast, nave float64
+	}{
+		{"MeanELC", fast.MeanELC, naive.MeanELC},
+		{"MeanEBE", fast.MeanEBE, naive.MeanEBE},
+		{"MeanES", fast.MeanES, naive.MeanES},
+		{"RunELC", fast.RunELC, naive.RunELC},
+		{"RunEBE", fast.RunEBE, naive.RunEBE},
+		{"RunES", fast.RunES, naive.RunES},
+		{"Yield", fast.Yield, naive.Yield},
+	} {
+		same := cmp.fast == cmp.nave || (math.IsNaN(cmp.fast) && math.IsNaN(cmp.nave))
+		if !same {
+			t.Errorf("%s: %v (skip) vs %v (naive)", cmp.name, cmp.fast, cmp.nave)
+		}
+	}
+	if !sameResults(fast.Apps, naive.Apps) {
+		t.Errorf("per-app summaries diverged:\nskip:  %+v\nnaive: %+v", fast.Apps, naive.Apps)
+	}
+	if !fast.FinalAllocation.Equal(naive.FinalAllocation) {
+		t.Errorf("final allocations diverged:\nskip:  %+v\nnaive: %+v",
+			fast.FinalAllocation, naive.FinalAllocation)
+	}
+	if len(fast.Timeline) != len(naive.Timeline) {
+		t.Fatalf("timeline lengths differ: %d vs %d", len(fast.Timeline), len(naive.Timeline))
+	}
+	for i := range fast.Timeline {
+		f, n := fast.Timeline[i], naive.Timeline[i]
+		if f.TimeMs != n.TimeMs || f.Adjusted != n.Adjusted ||
+			!sameWindows(f.Apps, n.Apps) || !f.Allocation.Equal(n.Allocation) {
+			t.Fatalf("epoch %d diverged:\nskip:  %+v\nnaive: %+v", i, f, n)
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"unicode/utf8"
+
+	"ahq/internal/sim"
 )
 
 // RunConfig parameterises a runner invocation.
@@ -25,6 +27,11 @@ type RunConfig struct {
 	// Results are assembled in declaration order, so output is identical
 	// at every parallelism level.
 	Parallel int
+	// Solves is the sweep's shared contention-solve cache, injected by
+	// the pool (runMixAsync); nil runs each engine isolated. Sharing is
+	// bit-exact, so it never changes results — only how often a row must
+	// re-derive a solve a sibling row already computed.
+	Solves *sim.SolveCache
 }
 
 // Result is a runner's output: one or more rendered tables.

@@ -17,9 +17,15 @@ import (
 // any parallelism level.
 
 // pool bounds how many simulation jobs run simultaneously for one runner
-// invocation.
+// invocation. It also owns the invocation's shared contention-solve cache:
+// rows of one sweep differ in load level or strategy, not in the solve
+// inputs, so engines running side by side (or sequentially) reuse each
+// other's solves. Sharing is bit-exact (sim.SolveCache keys cover every
+// resolver input), so results remain byte-identical at every parallelism
+// level, with or without the cache.
 type pool struct {
-	sem chan struct{}
+	sem    chan struct{}
+	solves *sim.SolveCache
 }
 
 // newPool sizes the executor from the run configuration: Parallel workers,
@@ -29,7 +35,7 @@ func newPool(cfg RunConfig) *pool {
 	if n <= 0 {
 		n = runtime.NumCPU()
 	}
-	return &pool{sem: make(chan struct{}, n)}
+	return &pool{sem: make(chan struct{}, n), solves: sim.NewSolveCache()}
 }
 
 // future is the pending result of a submitted job.
@@ -58,8 +64,10 @@ func (f *future[T]) wait() (T, error) {
 	return f.val, f.err
 }
 
-// runMixAsync submits one runMix invocation to the pool.
+// runMixAsync submits one runMix invocation to the pool, wiring the pool's
+// shared solve cache into the run.
 func runMixAsync(p *pool, cfg RunConfig, spec machine.Spec, apps []sim.AppConfig, f StrategyFactory, opts core.Options) *future[*core.Result] {
+	cfg.Solves = p.solves
 	return submit(p, func() (*core.Result, error) {
 		return runMix(cfg, spec, apps, f, opts)
 	})

@@ -55,6 +55,30 @@ func (w *LatencyWindow) Snapshot() WindowStats {
 	return s
 }
 
+// TailSnapshot computes the window statistics the engine's telemetry
+// actually consumes — the p95 tail, the mean, and the counts — and resets
+// the window. The tail comes from one quickselect pass instead of the full
+// sort Snapshot pays, and the mean is summed in observation order before
+// the samples are reordered; P50 and P99 are NaN. The p95 it returns is
+// bit-identical to Snapshot's.
+func (w *LatencyWindow) TailSnapshot() WindowStats {
+	s := WindowStats{Completed: len(w.samples), Dropped: w.dropped}
+	s.P50, s.P99 = math.NaN(), math.NaN()
+	if len(w.samples) == 0 {
+		s.P95, s.Mean = math.NaN(), math.NaN()
+	} else {
+		sum := 0.0
+		for _, v := range w.samples {
+			sum += v
+		}
+		s.Mean = sum / float64(len(w.samples))
+		s.P95 = PercentileInPlace(w.samples, 0.95)
+	}
+	w.samples = w.samples[:0]
+	w.dropped = 0
+	return s
+}
+
 // WorkWindow accumulates best-effort work (core-milliseconds of effective
 // progress) over one monitoring interval to derive IPC.
 type WorkWindow struct {

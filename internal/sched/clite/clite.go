@@ -66,6 +66,15 @@ type Strategy struct {
 	// search space) does not exist, so the controller holds the fallback
 	// allocation from machine.EvenPartition.
 	infeasible bool
+
+	// Candidate-pool scratch, reused across decisions. candMem/ptMem back
+	// the per-candidate configs and GP points; cands/pts are the slice
+	// headers handed to Suggest. Only the chosen candidate escapes a
+	// decision (copied), so the pool is safe to overwrite next time.
+	candMem []int
+	ptMem   []float64
+	cands   [][]int
+	pts     [][]float64
 }
 
 // New returns a CLITE controller.
@@ -166,22 +175,31 @@ func (s *Strategy) nextConfig() []int {
 	// local (small perturbations of the best configuration found so far);
 	// BO over resource partitionings converges much faster with a local
 	// neighbourhood in the pool.
-	cands := make([][]int, 0, s.cfg.Candidates)
-	pts := make([][]float64, 0, s.cfg.Candidates)
+	cfgLen := machine.NumResources * s.nApps()
+	dim := s.dim()
+	if cap(s.candMem) < s.cfg.Candidates*cfgLen {
+		s.candMem = make([]int, s.cfg.Candidates*cfgLen)
+		s.ptMem = make([]float64, s.cfg.Candidates*dim)
+		s.cands = make([][]int, 0, s.cfg.Candidates)
+		s.pts = make([][]float64, 0, s.cfg.Candidates)
+	}
+	cands := s.cands[:0]
+	pts := s.pts[:0]
 	var best []int
 	if x, _, err := s.opt.Best(); err == nil {
 		best = s.unpoint(x)
 	}
 	for i := 0; i < s.cfg.Candidates; i++ {
-		var c []int
+		c := s.candMem[i*cfgLen : (i+1)*cfgLen : (i+1)*cfgLen]
 		if best != nil && i%2 == 0 {
-			c = s.perturb(best)
+			s.perturbInto(c, best)
 		} else {
-			c = s.randomConfig()
+			s.randomConfigInto(c)
 		}
 		cands = append(cands, c)
-		pts = append(pts, s.point(c))
+		pts = append(pts, s.pointInto(s.ptMem[i*dim:i*dim:(i+1)*dim], c))
 	}
+	s.cands, s.pts = cands, pts
 	idx, ei, err := s.opt.Suggest(pts)
 	if err != nil || idx < 0 {
 		return s.randomConfig()
@@ -189,7 +207,8 @@ func (s *Strategy) nextConfig() []int {
 	if ei < s.cfg.MinEI {
 		return s.bestConfig()
 	}
-	return cands[idx]
+	// The winner outlives the pool (it becomes s.current); copy it out.
+	return append([]int(nil), cands[idx]...)
 }
 
 // bestConfig switches to exploitation and returns the best observed
@@ -360,23 +379,32 @@ func (s *Strategy) appHeavyConfig(heavy int) []int {
 // randomConfig draws a random integer partitioning with every application
 // holding at least one unit of each resource.
 func (s *Strategy) randomConfig() []int {
+	cfg := make([]int, machine.NumResources*s.nApps())
+	s.randomConfigInto(cfg)
+	return cfg
+}
+
+// randomConfigInto is randomConfig writing into a caller-provided config.
+func (s *Strategy) randomConfigInto(cfg []int) {
 	n := s.nApps()
-	cfg := make([]int, machine.NumResources*n)
 	for r := 0; r < machine.NumResources; r++ {
 		total := s.spec.Capacity(machine.Resource(r))
-		parts := randomPartition(s.rng, total, n)
-		for i := 0; i < n; i++ {
-			cfg[r*n+i] = parts[i]
-		}
+		randomPartitionInto(s.rng, total, cfg[r*n:(r+1)*n])
 	}
-	return cfg
 }
 
 // perturb moves one to three random resource units between random
 // partitions of a config, respecting the 1-unit floors.
 func (s *Strategy) perturb(cfg []int) []int {
+	out := make([]int, len(cfg))
+	s.perturbInto(out, cfg)
+	return out
+}
+
+// perturbInto is perturb writing into a caller-provided config.
+func (s *Strategy) perturbInto(out, cfg []int) {
 	n := s.nApps()
-	out := append([]int(nil), cfg...)
+	copy(out, cfg)
 	moves := 1 + s.rng.Intn(3)
 	for m := 0; m < moves; m++ {
 		r := s.rng.Intn(machine.NumResources)
@@ -388,27 +416,39 @@ func (s *Strategy) perturb(cfg []int) []int {
 		out[r*n+from]--
 		out[r*n+to]++
 	}
-	return out
 }
 
 // randomPartition splits total units over n bins, each at least 1, by
 // dealing the surplus with uniformly random bin choices.
 func randomPartition(rng *rand.Rand, total, n int) []int {
 	parts := make([]int, n)
+	randomPartitionInto(rng, total, parts)
+	return parts
+}
+
+// randomPartitionInto is randomPartition dealing into a caller-provided
+// slice; the candidate loop partitions straight into the config it is
+// building instead of allocating a scratch partition per resource.
+func randomPartitionInto(rng *rand.Rand, total int, parts []int) {
+	n := len(parts)
 	for i := range parts {
 		parts[i] = 1
 	}
 	for u := n; u < total; u++ {
 		parts[rng.Intn(n)]++
 	}
-	return parts
 }
 
 // point normalises a flat config into [0,1]^dim for the GP (dropping the
 // last application's implied shares).
 func (s *Strategy) point(cfg []int) []float64 {
+	return s.pointInto(make([]float64, 0, s.dim()), cfg)
+}
+
+// pointInto is point appending into a caller-provided buffer (len 0, cap
+// at least dim()).
+func (s *Strategy) pointInto(pt []float64, cfg []int) []float64 {
 	n := s.nApps()
-	pt := make([]float64, 0, s.dim())
 	for r := 0; r < machine.NumResources; r++ {
 		total := s.spec.Capacity(machine.Resource(r))
 		for i := 0; i < n-1; i++ {

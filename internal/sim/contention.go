@@ -254,6 +254,8 @@ func (e *Engine) resolveMemBW() {
 		memFactor := 1 + sens.MemSens*(1/sat-1)
 		cacheFactor := (1 + sens.CacheSens*miss[i]) / a.cacheDenom
 		a.slowdown = cacheFactor * memFactor
+		a.rateIso = 1 / a.slowdown
+		a.rateShared = a.sharedShare / a.slowdown
 	}
 }
 

@@ -30,14 +30,18 @@ func (a *appState) dispatchHeap(nowMs, tickEnd float64) {
 	if isoSlots > nSlots {
 		isoSlots = nSlots
 	}
-	rIso := 1 / a.slowdown
-	rShared := a.sharedShare / a.slowdown
+	rIso := a.rateIso
+	rShared := a.rateShared
 	usable := nSlots
 	if rShared <= 0 {
 		usable = isoSlots
 	}
 	if usable == 0 {
 		// No slot can run; every request waits as-is.
+		return
+	}
+	if usable <= smallSlotCount {
+		a.dispatchSmall(nowMs, tickEnd, usable, isoSlots, rIso, rShared)
 		return
 	}
 	if cap(a.slotClock) < usable {
@@ -94,6 +98,73 @@ func (a *appState) dispatchHeap(nowMs, tickEnd float64) {
 	// Write the carried requests back right-aligned against the untouched
 	// tail: the pending queue becomes kept ++ q[qi:] by advancing qHead,
 	// without moving the tail. When nothing was carried, this is free.
+	newHead := qi - len(kept)
+	copy(q[newHead:qi], kept)
+	a.qHead = newHead
+	a.keptBuf = kept[:0]
+}
+
+// smallSlotCount is the widest slot array served by dispatchSmall's linear
+// scan. Catalog applications run 4 worker threads, so virtually every
+// dispatch lands here; at these widths scanning a handful of clocks held in
+// a stack array beats maintaining the heap (no index array, no siftDown
+// calls, no per-tick heap initialisation).
+const smallSlotCount = 8
+
+// dispatchSmall is dispatchHeap's fast path for small slot counts: the
+// earliest-slot-lowest-index selection is a strict < scan over the clocks,
+// which picks exactly the slot the heap's (clock, index) order would. All
+// arithmetic on the chosen slot is identical, so completions, clocks and
+// leftover queues match the heap and linear paths bit for bit.
+func (a *appState) dispatchSmall(nowMs, tickEnd float64, usable, isoSlots int, rIso, rShared float64) {
+	var clocks [smallSlotCount]float64
+	for i := 0; i < usable; i++ {
+		clocks[i] = nowMs
+	}
+	q := a.queue
+	kept := a.keptBuf[:0]
+	qi := a.qHead
+	for ; qi < len(q); qi++ {
+		top := 0
+		c := clocks[0]
+		for i := 1; i < usable; i++ {
+			if clocks[i] < c {
+				top, c = i, clocks[i]
+			}
+		}
+		if c >= tickEnd {
+			// Every slot is booked past the tick; the tail [qi, len(q))
+			// waits in place.
+			break
+		}
+		req := &q[qi]
+		start := c
+		if req.arrivalMs > start {
+			start = req.arrivalMs
+		}
+		if req.notBefore > start {
+			start = req.notBefore
+		}
+		if start >= tickEnd {
+			kept = append(kept, *req)
+			continue
+		}
+		rate := rIso
+		if top >= isoSlots {
+			rate = rShared
+		}
+		can := (tickEnd - start) * rate
+		if req.remainMs <= can {
+			done := start + req.remainMs/rate
+			clocks[top] = done
+			a.complete(*req, done)
+		} else {
+			r := *req
+			r.remainMs -= can
+			clocks[top] = tickEnd
+			kept = append(kept, r)
+		}
+	}
 	newHead := qi - len(kept)
 	copy(q[newHead:qi], kept)
 	a.qHead = newHead

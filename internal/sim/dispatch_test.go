@@ -8,6 +8,14 @@ import (
 	"ahq/internal/workload"
 )
 
+// deriveRates mirrors resolveMemBW's slot-rate precomputation for the
+// hand-built contention snapshots below: the dispatchers consume the
+// resolver-owned rateIso/rateShared fields, never the raw slowdown.
+func (a *appState) deriveRates() {
+	a.rateIso = 1 / a.slowdown
+	a.rateShared = a.sharedShare / a.slowdown
+}
+
 // dispatchApp builds an appState with a randomized contention snapshot and
 // request queue, ready to dispatch one tick. Every draw comes from rng, so
 // two calls with identically seeded sources produce identical states.
@@ -25,6 +33,7 @@ func dispatchApp(rng *rand.Rand, nowMs float64) *appState {
 	default:
 		a.sharedShare = rng.Float64()
 	}
+	a.deriveRates()
 	n := rng.Intn(24)
 	for i := 0; i < n; i++ {
 		at := nowMs - 3*rng.Float64() // some backlog, some fresh
@@ -87,6 +96,7 @@ func TestHeapDispatchClosedLoopReschedules(t *testing.T) {
 		a.isoCores = 2
 		a.slowdown = 1.5
 		a.sharedShare = 0.6
+		a.deriveRates()
 		a.nextIssue = make([]float64, 6)
 		for u := 0; u < 6; u++ {
 			a.queue = append(a.queue, request{
@@ -145,6 +155,7 @@ func TestQueueHeadCompaction(t *testing.T) {
 	a := newAppState(AppConfig{LC: &lc}, 1)
 	a.isoCores = 1
 	a.slowdown = 1
+	a.deriveRates()
 	// 8 requests of 1 ms each on one slot: each tick completes exactly one.
 	for i := 0; i < 8; i++ {
 		a.queue = append(a.queue, request{arrivalMs: 0, remainMs: 1, user: -1})
@@ -163,5 +174,66 @@ func TestQueueHeadCompaction(t *testing.T) {
 	}
 	if a.pendingLen() != 0 {
 		t.Fatalf("queue not drained: %d pending", a.pendingLen())
+	}
+}
+
+// TestHeapDispatchNotBeforeStraddlesTick pins the boundary the dispatch
+// delay creates: requests whose earliest-dispatch time lands exactly on,
+// one ulp before, or one ulp after a tick boundary must be dispatched (or
+// held) identically by the heap and linear dispatchers — across the tick
+// in which they become eligible, not just within one tick.
+func TestHeapDispatchNotBeforeStraddlesTick(t *testing.T) {
+	for trial := 0; trial < 500; trial++ {
+		seed := int64(trial + 10_001)
+		build := func() *appState {
+			rng := rand.New(rand.NewSource(seed))
+			a := dispatchApp(rng, 0)
+			// Rewrite the queue so every notBefore hugs a tick boundary:
+			// exactly at tick 1, one ulp either side, exactly at the tick
+			// start, and far beyond the horizon.
+			boundary := 1.0
+			for i := range a.queue {
+				req := &a.queue[i]
+				switch i % 5 {
+				case 0:
+					req.notBefore = boundary
+				case 1:
+					req.notBefore = math.Nextafter(boundary, 0)
+				case 2:
+					req.notBefore = math.Nextafter(boundary, 2)
+				case 3:
+					req.notBefore = 0
+				default:
+					req.notBefore = 2.5
+				}
+			}
+			return a
+		}
+		h, l := build(), build()
+		// Two consecutive ticks, so the boundary cases transition from
+		// "held" to "eligible" between dispatch calls.
+		h.dispatchHeap(0, 1)
+		h.dispatchHeap(1, 2)
+		l.dispatchLinear(0, 1)
+		l.dispatchLinear(1, 2)
+
+		if len(h.runLat) != len(l.runLat) {
+			t.Fatalf("trial %d: heap completed %d, linear %d", trial, len(h.runLat), len(l.runLat))
+		}
+		for i := range h.runLat {
+			if h.runLat[i] != l.runLat[i] {
+				t.Fatalf("trial %d: completion %d latency %v (heap) != %v (linear)",
+					trial, i, h.runLat[i], l.runLat[i])
+			}
+		}
+		hq, lq := h.pending(), l.pending()
+		if len(hq) != len(lq) {
+			t.Fatalf("trial %d: heap kept %d, linear kept %d", trial, len(hq), len(lq))
+		}
+		for i := range hq {
+			if hq[i] != lq[i] {
+				t.Fatalf("trial %d: kept %d differs: %+v vs %+v", trial, i, hq[i], lq[i])
+			}
+		}
 	}
 }

@@ -45,24 +45,81 @@ type appResolve struct {
 	isoWays        float64
 	effWays        float64
 	slowdown       float64
+	rateIso        float64
+	rateShared     float64
 }
 
+// memoSmallApps is the largest application count whose active-thread
+// vector fits packed into a uint64 (16 bits per app); those configurations
+// — including every catalog mix — key the memo on the packed integer,
+// avoiding the string-key hash and equality walk on every tick.
+const memoSmallApps = 4
+
 // resolveMemo is the engine's solve cache plus its reusable key buffer.
+// Exactly one of entries64/entries is populated, chosen by app count.
 type resolveMemo struct {
-	entries map[string][]appResolve
-	key     []byte
-	// hits and misses instrument the cache for tests and benchmarks.
-	hits, misses uint64
+	entries64 map[uint64][]appResolve
+	entries   map[string][]appResolve
+	key       []byte
+	// lastVec/lastOK record the active-thread vector whose solve the
+	// per-app contention fields currently hold, valid only outside warm-up
+	// and under the current allocation. When the next tick presents the
+	// same vector the fields are already exactly right — the steady-state
+	// common case — and resolveContention returns without touching the
+	// table at all. lastOK doubles as the event-driven clock's licence to
+	// elide resolves entirely (engine.go: nextEventTick).
+	lastVec []uint16
+	lastOK  bool
+	// hits and misses instrument the cache for tests and benchmarks;
+	// sharedHits counts solves adopted from the cross-engine cache.
+	hits, misses, sharedHits uint64
 	// disabled forces every tick through the fresh solve; the differential
 	// tests use it to compare memoized and unmemoized engines.
 	disabled bool
+	// free recycles value slices across invalidations. Every allocation
+	// change clears the table, and the following window re-captures a
+	// solve per active-thread vector; without recycling that is a slice
+	// allocation per vector per epoch for the life of the run.
+	free [][]appResolve
 }
 
 // invalidate drops every cached solve; called when the allocation changes.
+// The value slices are kept for reuse by the next epoch's captures.
 func (m *resolveMemo) invalidate() {
-	if m.entries != nil {
-		clear(m.entries)
+	for k, v := range m.entries {
+		m.free = append(m.free, v)
+		delete(m.entries, k)
 	}
+	for k, v := range m.entries64 {
+		m.free = append(m.free, v)
+		delete(m.entries64, k)
+	}
+	m.lastOK = false
+}
+
+// grab returns a capture slice of length n, recycled when one is free.
+func (m *resolveMemo) grab(n int) []appResolve {
+	if k := len(m.free); k > 0 {
+		st := m.free[k-1]
+		m.free = m.free[:k-1]
+		if cap(st) >= n {
+			return st[:n]
+		}
+	}
+	return make([]appResolve, n)
+}
+
+// noteVector records the current active-thread vector as the one whose
+// solve the per-app contention fields now hold.
+func (m *resolveMemo) noteVector(apps []*appState) {
+	if cap(m.lastVec) < len(apps) {
+		m.lastVec = make([]uint16, len(apps))
+	}
+	m.lastVec = m.lastVec[:len(apps)]
+	for i, a := range apps {
+		m.lastVec[i] = uint16(a.activeThreads)
+	}
+	m.lastOK = true
 }
 
 // buildKey serialises the active-thread vector into the reusable buffer.
@@ -90,6 +147,8 @@ func (a *appState) capture() appResolve {
 		isoWays:        a.isoWays,
 		effWays:        a.effWays,
 		slowdown:       a.slowdown,
+		rateIso:        a.rateIso,
+		rateShared:     a.rateShared,
 	}
 }
 
@@ -106,40 +165,132 @@ func (a *appState) restore(r *appResolve) {
 	a.isoWays = r.isoWays
 	a.effWays = r.effWays
 	a.slowdown = r.slowdown
+	a.rateIso = r.rateIso
+	a.rateShared = r.rateShared
 }
 
 // resolveContention computes the tick's contention state, through the memo
 // when possible. Memoization is skipped while any application is warming up
 // (the transient makes the solve time-dependent) and while disabled.
 func (e *Engine) resolveContention() {
-	for _, a := range e.apps {
-		a.activeThreads = a.runnableThreads()
-	}
 	memoOK := !e.memo.disabled && e.nowMs >= e.warmupMaxUntilMs
+	same := memoOK && e.memo.lastOK
+	for i, a := range e.apps {
+		t := a.runnableThreads()
+		a.activeThreads = t
+		if same && e.memo.lastVec[i] != uint16(t) {
+			same = false
+		}
+	}
+	if same {
+		// The fields already hold this exact vector's solve; restoring the
+		// cached entry would write back the values that are already there.
+		e.memo.hits++
+		return
+	}
+	small := len(e.apps) <= memoSmallApps
+	var key64 uint64
 	if memoOK {
-		key := e.memo.buildKey(e.apps)
-		if st, ok := e.memo.entries[string(key)]; ok {
-			e.memo.hits++
+		if small {
 			for i, a := range e.apps {
-				a.restore(&st[i])
+				key64 |= uint64(uint16(a.activeThreads)) << (16 * uint(i))
 			}
-			return
+			if st, ok := e.memo.entries64[key64]; ok {
+				e.memo.hits++
+				for i, a := range e.apps {
+					a.restore(&st[i])
+				}
+				e.memo.noteVector(e.apps)
+				return
+			}
+		} else {
+			key := e.memo.buildKey(e.apps)
+			if st, ok := e.memo.entries[string(key)]; ok {
+				e.memo.hits++
+				for i, a := range e.apps {
+					a.restore(&st[i])
+				}
+				e.memo.noteVector(e.apps)
+				return
+			}
+		}
+		// Local miss: another engine of the experiment may already have
+		// this exact solve (same resolver inputs, bit for bit).
+		if e.shared != nil {
+			if st, ok := e.shared.lookup(e.sharedSolveKey()); ok {
+				e.memo.sharedHits++
+				for i, a := range e.apps {
+					a.restore(&st[i])
+				}
+				e.adoptSolve(small, key64, st)
+				e.memo.noteVector(e.apps)
+				return
+			}
 		}
 	}
 	e.resolveCores()
 	e.resolveCache()
 	e.resolveMemBW()
-	if memoOK {
-		e.memo.misses++
+	if !memoOK {
+		// A warm-up (or disabled) solve is time-dependent; the fields do
+		// not represent the vector's steady-state solve.
+		e.memo.lastOK = false
+		return
+	}
+	e.memo.misses++
+	st := e.memo.grab(len(e.apps))
+	for i, a := range e.apps {
+		st[i] = a.capture()
+	}
+	if e.shared != nil {
+		// sharedSolveKey was built by the lookup above on this same path.
+		e.shared.store(e.solveKey, st)
+	}
+	stored := false
+	if small {
+		if e.memo.entries64 == nil {
+			e.memo.entries64 = make(map[uint64][]appResolve)
+		}
+		if len(e.memo.entries64) < memoMaxEntries {
+			e.memo.entries64[key64] = st
+			stored = true
+		}
+	} else {
 		if e.memo.entries == nil {
 			e.memo.entries = make(map[string][]appResolve)
 		}
 		if len(e.memo.entries) < memoMaxEntries {
-			st := make([]appResolve, len(e.apps))
-			for i, a := range e.apps {
-				st[i] = a.capture()
-			}
 			e.memo.entries[string(e.memo.key)] = st
+			stored = true
 		}
 	}
+	if !stored {
+		e.memo.free = append(e.memo.free, st)
+	}
+	e.memo.noteVector(e.apps)
+}
+
+// adoptSolve copies a shared-cache hit into the per-engine table so
+// subsequent ticks on this vector stay lock-free.
+func (e *Engine) adoptSolve(small bool, key64 uint64, st []appResolve) {
+	cp := e.memo.grab(len(st))
+	copy(cp, st)
+	if small {
+		if e.memo.entries64 == nil {
+			e.memo.entries64 = make(map[uint64][]appResolve)
+		}
+		if len(e.memo.entries64) < memoMaxEntries {
+			e.memo.entries64[key64] = cp
+			return
+		}
+	} else {
+		if e.memo.entries == nil {
+			e.memo.entries = make(map[string][]appResolve)
+		}
+		if len(e.memo.entries) < memoMaxEntries {
+			e.memo.entries[string(e.memo.key)] = cp
+			return
+		}
+	}
+	e.memo.free = append(e.memo.free, cp)
 }

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"math"
+	"strconv"
+	"sync"
+
+	"ahq/internal/workload"
+)
+
+// A sweep runs dozens of engines whose rows differ only in load level or
+// controller strategy. The contention solve, however, depends on neither:
+// it is a pure function of the tunables, the node's bandwidth figures, the
+// applications' contention parameters, the compiled allocation topology and
+// the active-thread vector. Rows therefore keep re-deriving each other's
+// solves — every strategy starts from the same even partition, and the
+// steady-state vectors repeat across load levels.
+//
+// SolveCache shares those solves across engines. The key is a canonical,
+// bit-exact serialisation of every input the three resolvers read (floats
+// are serialised by their IEEE bit patterns, so two engines collide only
+// when their solves would run the exact same float operations), and the
+// value is the same appResolve capture the per-engine memo stores. A hit
+// restores values the identical computation produced elsewhere, so a
+// shared-cache run is bit-for-bit identical to an isolated one — only the
+// hit counters depend on worker scheduling, never the simulation output.
+//
+// The cache is safe for concurrent use. It is sharded to keep parallel
+// sweep rows from serialising on one lock, and each shard is bounded the
+// same way the per-engine memo is: once full it stops accepting inserts,
+// retaining the early steady-state entries instead of churning.
+
+// solveShards is the shard count; a small power of two keeps the modulo
+// free while comfortably exceeding the worker counts experiments use.
+const solveShards = 8
+
+// solveShardMaxEntries bounds each shard; the bound exists to cap memory
+// under adversarial key diversity, not to evict.
+const solveShardMaxEntries = 1 << 13
+
+// SolveCache is a concurrency-safe, bounded, experiment-scoped contention
+// solve cache shared by every engine of one experiment invocation.
+type SolveCache struct {
+	shards [solveShards]solveShard
+}
+
+type solveShard struct {
+	mu      sync.RWMutex
+	entries map[string][]appResolve
+}
+
+// NewSolveCache returns an empty cache ready for concurrent use.
+func NewSolveCache() *SolveCache {
+	c := &SolveCache{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string][]appResolve)
+	}
+	return c
+}
+
+// Len reports the total number of cached solves (for tests and telemetry).
+func (c *SolveCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// lookup returns the cached solve for key, if any. The returned slice is
+// owned by the cache and must not be mutated.
+func (c *SolveCache) lookup(key []byte) ([]appResolve, bool) {
+	s := &c.shards[solveShard64(key)%solveShards]
+	s.mu.RLock()
+	v, ok := s.entries[string(key)]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// store inserts a solve under key, copying vals (callers recycle their
+// capture slices). Full shards and already-present keys are left alone.
+func (c *SolveCache) store(key []byte, vals []appResolve) {
+	s := &c.shards[solveShard64(key)%solveShards]
+	s.mu.Lock()
+	if _, ok := s.entries[string(key)]; !ok && len(s.entries) < solveShardMaxEntries {
+		s.entries[string(key)] = append([]appResolve(nil), vals...)
+	}
+	s.mu.Unlock()
+}
+
+// solveShard64 is FNV-1a over the key, used only to pick a shard.
+func solveShard64(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// appendBits serialises a float by its IEEE-754 bit pattern: two inputs
+// get the same encoding exactly when the resolvers would compute on
+// identical values.
+func appendBits(b []byte, v float64) []byte {
+	b = strconv.AppendUint(b, math.Float64bits(v), 16)
+	return append(b, ',')
+}
+
+func appendInt(b []byte, v int) []byte {
+	b = strconv.AppendInt(b, int64(v), 10)
+	return append(b, ',')
+}
+
+// staticSolveKey serialises the engine inputs the resolvers read that are
+// fixed for the engine's lifetime: the tunables, the node's bandwidth
+// figures and each application's contention parameters, in configuration
+// order. Allocation-dependent state is appended by refreshSolvePrefix.
+func (e *Engine) staticSolveKey() []byte {
+	b := make([]byte, 0, 64+48*len(e.apps))
+	t := e.tun
+	for _, v := range [...]float64{
+		t.SwitchOverhead, t.PollutionOverhead, t.WarmupMs, t.WarmupMissBoost,
+		t.MinBWSatisfaction, t.RefWays, t.TimesliceMs, t.DispatchDelayCapMs,
+		t.BatchDrag,
+	} {
+		b = appendBits(b, v)
+	}
+	b = appendBits(b, e.spec.MemBWGBps)
+	b = appendInt(b, e.spec.MemBWUnits)
+	for _, a := range e.apps {
+		if a.class == workload.LC {
+			b = append(b, 'L')
+		} else {
+			b = append(b, 'B')
+		}
+		b = appendInt(b, a.threads())
+		cache := a.cache()
+		b = appendBits(b, cache.WorkingSetWays)
+		b = appendBits(b, cache.MinMissRatio)
+		sens := a.sens()
+		b = appendBits(b, sens.CacheSens)
+		b = appendBits(b, sens.MemSens)
+		b = appendBits(b, sens.MemGBpsPerThread)
+		b = appendBits(b, a.cacheDenom)
+	}
+	return b
+}
+
+// refreshSolvePrefix rebuilds the shared-cache key prefix — the static
+// engine inputs plus the compiled topology of the allocation in force.
+// Called by SetAllocation, so the per-tick path only appends the
+// active-thread vector.
+func (e *Engine) refreshSolvePrefix() {
+	if e.shared == nil {
+		return
+	}
+	if e.solveStatic == nil {
+		e.solveStatic = e.staticSolveKey()
+	}
+	b := append(e.solvePrefix[:0], e.solveStatic...)
+	b = append(b, '|')
+	for i := range e.topo.byApp {
+		ta := &e.topo.byApp[i]
+		if ta.hasIso {
+			b = append(b, 'i')
+		}
+		b = appendInt(b, ta.isoCores)
+		b = appendBits(b, ta.isoWays)
+		b = appendInt(b, ta.isoBWUnits)
+		b = appendInt(b, ta.sharedIdx)
+	}
+	for si := range e.topo.shared {
+		g := e.topo.shared[si].region
+		b = append(b, 'g')
+		b = appendInt(b, g.Cores)
+		b = appendInt(b, g.Ways)
+		b = appendInt(b, g.BWUnits)
+		b = appendInt(b, int(g.Policy))
+		for _, ai := range e.topo.shared[si].members {
+			b = appendInt(b, ai)
+		}
+	}
+	e.solvePrefix = b
+}
+
+// sharedSolveKey appends the current active-thread vector to the prefix,
+// completing the cross-engine key for this tick's solve.
+func (e *Engine) sharedSolveKey() []byte {
+	b := append(e.solveKey[:0], e.solvePrefix...)
+	b = append(b, '|')
+	for _, a := range e.apps {
+		t := a.activeThreads
+		b = append(b, byte(t), byte(t>>8))
+	}
+	e.solveKey = b
+	return b
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"ahq/internal/machine"
+	"ahq/internal/trace"
+	"ahq/internal/workload"
+)
+
+func solveCacheMix(t *testing.T, shared *SolveCache) *Engine {
+	t.Helper()
+	x, m := workload.MustLC("xapian"), workload.MustLC("moses")
+	b := workload.MustBE("stream")
+	e, err := New(Config{
+		Spec: machine.DefaultSpec(),
+		Seed: 11,
+		Apps: []AppConfig{
+			{LC: &x, Load: trace.Constant(0.4)},
+			{LC: &m, Load: trace.Constant(0.2)},
+			{BE: &b},
+		},
+		SharedSolves: shared,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func driveAndCollect(e *Engine, horizonMs float64) []float64 {
+	for e.NowMs() < horizonMs {
+		e.RunWindow(500)
+	}
+	return e.apps[0].runLat
+}
+
+// TestSharedSolveCacheIsBitExact: an engine backed by the cross-engine
+// solve cache — including one that adopts every solve another engine
+// already computed — must produce bit-identical latencies to an isolated
+// engine. The second engine must actually hit the shared cache (otherwise
+// the equivalence holds vacuously).
+func TestSharedSolveCacheIsBitExact(t *testing.T) {
+	isolated := driveAndCollect(solveCacheMix(t, nil), 4_000)
+
+	cache := NewSolveCache()
+	first := solveCacheMix(t, cache)
+	firstLat := driveAndCollect(first, 4_000)
+	second := solveCacheMix(t, cache)
+	secondLat := driveAndCollect(second, 4_000)
+
+	if cache.Len() == 0 {
+		t.Fatal("shared cache stayed empty")
+	}
+	if second.memo.sharedHits == 0 {
+		t.Fatal("second engine never hit the shared cache")
+	}
+	for name, lat := range map[string][]float64{"first": firstLat, "second": secondLat} {
+		if len(lat) != len(isolated) {
+			t.Fatalf("%s engine: %d completions vs %d isolated", name, len(lat), len(isolated))
+		}
+		for i := range lat {
+			if lat[i] != isolated[i] {
+				t.Fatalf("%s engine: latency %d is %v, isolated %v", name, i, lat[i], isolated[i])
+			}
+		}
+	}
+}
+
+// TestSharedSolveCacheConcurrent hammers one cache from many engines at
+// once (the sweep-pool shape); under -race this doubles as the data-race
+// gate, and every engine must still match the isolated baseline exactly.
+func TestSharedSolveCacheConcurrent(t *testing.T) {
+	isolated := driveAndCollect(solveCacheMix(t, nil), 3_000)
+
+	cache := NewSolveCache()
+	const workers = 8
+	results := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = driveAndCollect(solveCacheMix(t, cache), 3_000)
+		}(w)
+	}
+	wg.Wait()
+	for w, lat := range results {
+		if len(lat) != len(isolated) {
+			t.Fatalf("worker %d: %d completions vs %d isolated", w, len(lat), len(isolated))
+		}
+		for i := range lat {
+			if lat[i] != isolated[i] {
+				t.Fatalf("worker %d: latency %d is %v, isolated %v", w, i, lat[i], isolated[i])
+			}
+		}
+	}
+}
+
+// TestSolveCacheBounded: a shard that is full stops accepting inserts
+// instead of evicting or growing without limit.
+func TestSolveCacheBounded(t *testing.T) {
+	c := NewSolveCache()
+	vals := []appResolve{{slowdown: 1}}
+	key := make([]byte, 8)
+	for i := 0; i < solveShards*solveShardMaxEntries*2; i++ {
+		for j := 0; j < 8; j++ {
+			key[j] = byte(i >> (8 * j))
+		}
+		c.store(key, vals)
+	}
+	if got, max := c.Len(), solveShards*solveShardMaxEntries; got > max {
+		t.Fatalf("cache grew to %d entries, bound is %d", got, max)
+	}
+	if c.Len() == 0 {
+		t.Fatal("cache stored nothing")
+	}
+}

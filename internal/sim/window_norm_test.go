@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ahq/internal/machine"
+	"ahq/internal/trace"
+	"ahq/internal/workload"
+)
+
+func buildCoarseTickEngine(t *testing.T) *Engine {
+	t.Helper()
+	x := workload.MustLC("xapian")
+	b := workload.MustBE("stream")
+	e, err := New(Config{
+		Spec:   machine.DefaultSpec(),
+		Seed:   42,
+		TickMs: 3,
+		Apps: []AppConfig{
+			{LC: &x, Load: trace.Constant(0.5)},
+			{BE: &b},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestWindowRateNormalizationAtCoarseTick is the regression test for the
+// window-rate fix: a 3 ms tick cannot tile a 500 ms window, so RunWindow
+// actually spans 167 ticks = 501 ms, and OfferedQPS and BE IPC must be
+// normalised by that actual elapsed time — not the nominal 500 ms, which
+// silently inflated every rate by 0.2% at this tick. The expectation is
+// built from an identically-seeded engine stepped tick by tick, whose raw
+// arrival and work counters are read directly.
+func TestWindowRateNormalizationAtCoarseTick(t *testing.T) {
+	const ticksPerWindow = 167 // ceil(500/3 - 0.5)
+	const elapsedMs = ticksPerWindow * 3.0
+
+	ref := buildCoarseTickEngine(t)
+	for i := 0; i < ticksPerWindow; i++ {
+		ref.Step()
+	}
+	offered := ref.apps[0].offered
+	if offered == 0 {
+		t.Fatal("reference run offered no load; the test needs arrivals")
+	}
+	beWork := ref.apps[1].workWin.Snapshot()
+
+	e := buildCoarseTickEngine(t)
+	w := e.RunWindow(500)
+	if got := e.NowMs(); got != elapsedMs {
+		t.Fatalf("RunWindow(500) at 3 ms tick advanced to %v ms, want %v", got, elapsedMs)
+	}
+
+	wantQPS := float64(offered) / elapsedMs * 1000
+	if w[0].OfferedQPS != wantQPS {
+		t.Errorf("OfferedQPS = %v, want %v (offered %d over the actual %v ms)",
+			w[0].OfferedQPS, wantQPS, offered, elapsedMs)
+	}
+	beCfg := e.apps[1].cfg.BE
+	wantIPC := beCfg.SoloIPC * beWork / (float64(beCfg.Threads) * elapsedMs)
+	if w[1].IPC != wantIPC {
+		t.Errorf("BE IPC = %v, want %v (work %v over the actual %v ms)",
+			w[1].IPC, wantIPC, beWork, elapsedMs)
+	}
+
+	// Second window: the start moves to 501 ms and the same normalisation
+	// must hold relative to that start.
+	for i := 0; i < ticksPerWindow; i++ {
+		ref.Step()
+	}
+	offered2 := ref.apps[0].offered - offered
+	w2 := e.RunWindow(500)
+	wantQPS2 := float64(offered2) / elapsedMs * 1000
+	if w2[0].OfferedQPS != wantQPS2 {
+		t.Errorf("window 2 OfferedQPS = %v, want %v", w2[0].OfferedQPS, wantQPS2)
+	}
+}
+
+// TestWindowStartsAreExactTickMultiples pins the integer tick window ends:
+// every window boundary must land exactly on a tick, with no float guard
+// drift, for ticks both dividing and not dividing the window length.
+func TestWindowStartsAreExactTickMultiples(t *testing.T) {
+	for _, tick := range []float64{0.5, 1, 3, 7} {
+		x := workload.MustLC("xapian")
+		e, err := New(Config{
+			Spec:   machine.DefaultSpec(),
+			Seed:   9,
+			TickMs: tick,
+			Apps:   []AppConfig{{LC: &x, Load: trace.Constant(0.3)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevTicks := int64(0)
+		for w := 0; w < 20; w++ {
+			e.RunWindow(500)
+			if e.windowStartMs != float64(prevTicks)*tick {
+				t.Fatalf("tick %v window %d: start %v is not the tick multiple %v",
+					tick, w, e.windowStartMs, float64(prevTicks)*tick)
+			}
+			k := e.windowStartMs / tick
+			if k != math.Trunc(k) {
+				t.Fatalf("tick %v window %d: start %v is not an exact tick multiple", tick, w, e.windowStartMs)
+			}
+			if e.nowMs != float64(e.tickCount)*tick {
+				t.Fatalf("tick %v window %d: nowMs %v drifted from tickCount %d", tick, w, e.nowMs, e.tickCount)
+			}
+			prevTicks = e.tickCount
+		}
+	}
+}

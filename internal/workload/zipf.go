@@ -26,7 +26,18 @@ type TermMix struct {
 
 	factors []float64 // per-rank multiplier, normalised to mean 1
 	cdf     []float64 // cumulative rank probabilities
+	// guide[j] is the smallest rank whose cdf reaches j/guideBuckets; a
+	// draw u then needs only a binary search of [guide[j], guide[j+1]]
+	// with j = floor(u*guideBuckets). The comparisons are the same ones
+	// the unguided search would make, so the sampled rank is identical —
+	// the guide only shrinks the range they run over.
+	guide []int32
 }
+
+// guideBuckets sizes the Sample guide table. A power of two keeps
+// u*guideBuckets exact (the multiplication only shifts the exponent), so
+// bucket membership is exact float arithmetic, not an approximation.
+const guideBuckets = 256
 
 // NewTermMix builds and normalises a term mix.
 func NewTermMix(terms int, skew, coldFactor float64) (*TermMix, error) {
@@ -65,14 +76,29 @@ func NewTermMix(terms int, skew, coldFactor float64) (*TermMix, error) {
 		m.cdf[r] = cum
 	}
 	m.cdf[terms-1] = 1 // guard against rounding
+
+	// Build the sampling guide: for each bucket boundary j/guideBuckets,
+	// the first rank whose cumulative probability reaches it.
+	m.guide = make([]int32, guideBuckets+1)
+	r := int32(0)
+	for j := 0; j <= guideBuckets; j++ {
+		bound := float64(j) / guideBuckets
+		for int(r) < terms-1 && m.cdf[r] < bound {
+			r++
+		}
+		m.guide[j] = r
+	}
 	return m, nil
 }
 
-// Sample draws a term rank and returns its service-demand multiplier.
+// Sample draws a term rank and returns its service-demand multiplier. The
+// rank is the smallest one whose cumulative probability reaches the draw;
+// the guide table narrows the binary search to a handful of ranks, and a
+// Zipfian's head-heavy buckets usually pin it outright.
 func (m *TermMix) Sample(rng *rand.Rand) float64 {
 	u := rng.Float64()
-	// Binary search the CDF.
-	lo, hi := 0, len(m.cdf)-1
+	j := int(u * guideBuckets) // exact: u in [0,1), power-of-two scale
+	lo, hi := int(m.guide[j]), int(m.guide[j+1])
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if m.cdf[mid] < u {
