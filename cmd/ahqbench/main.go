@@ -76,7 +76,7 @@ func runAll(w, timings io.Writer, ids []string, cfg experiments.RunConfig, csvDi
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (try -list)", id)
 		}
-		start := time.Now() //ahqlint:allow determinism wall-clock timing goes to stderr only; stdout stays deterministic
+		start := time.Now() //ahqlint:allow detflow wall-clock timing goes to stderr only; stdout stays deterministic
 		res, err := d.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
@@ -90,7 +90,7 @@ func runAll(w, timings io.Writer, ids []string, cfg experiments.RunConfig, csvDi
 			fmt.Fprintf(w, "(csv: %s)\n", strings.Join(files, ", "))
 		}
 		fmt.Fprintln(w)
-		//ahqlint:allow determinism wall-clock timing goes to stderr only; stdout stays deterministic
+		//ahqlint:allow detflow wall-clock timing goes to stderr only; stdout stays deterministic
 		fmt.Fprintf(timings, "(%s finished in %v)\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	return nil

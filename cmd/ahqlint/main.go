@@ -1,11 +1,12 @@
 // Command ahqlint runs the project's static-analysis suite (internal/lint)
 // over the given package patterns and reports every violation of the
-// determinism, unit, float-comparison, seed-plumbing, and error-wrapping
-// invariants.
+// determinism-taint, unit, float-comparison, seed-plumbing, error-wrapping,
+// hot-path-allocation, and lock-discipline invariants.
 //
 // Usage:
 //
 //	ahqlint ./...
+//	ahqlint -json ./...
 //	ahqlint -list
 //
 // Exit status is 0 when the tree is clean, 1 when violations were found,
@@ -14,10 +15,16 @@
 //
 //	//ahqlint:allow <analyzer> <reason>
 //
+// With -json, findings are emitted as one JSON array on stdout (fields:
+// file, line, column, analyzer, message) for tooling; the default text
+// form `file:line:col: [analyzer] message` is what the CI problem matcher
+// (.github/ahqlint-matcher.json) parses into inline PR annotations.
+//
 // See docs/lint.md for the analyzer catalogue and rationale.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,8 +32,18 @@ import (
 	"ahq/internal/lint"
 )
 
+// jsonDiag is the stable wire form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	flag.Parse()
 
 	if *list {
@@ -46,8 +63,27 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.RunAnalyzers(pkgs, lint.All())
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "ahqlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ahqlint: %d violation(s)\n", len(diags))

@@ -38,11 +38,13 @@ func newPool(cfg RunConfig) *pool {
 	return &pool{sem: make(chan struct{}, n), solves: sim.NewSolveCache()}
 }
 
-// future is the pending result of a submitted job.
+// future is the pending result of a submitted job. The result slots are
+// published by the worker goroutine's deferred close(done): writes happen
+// before the close, reads happen after a receive.
 type future[T any] struct {
 	done chan struct{}
-	val  T
-	err  error
+	val  T     // guarded by done
+	err  error // guarded by done
 }
 
 // submit schedules fn on the pool and returns its future. Jobs start in

@@ -12,8 +12,20 @@ import (
 // fixture's `// want` regexp matches) and every allowlisted or clean
 // line must stay silent.
 
-func TestDeterminismFixture(t *testing.T) {
-	linttest.Run(t, ".", lint.Determinism, "./testdata/src/determinism")
+// TestDetFlowFixture loads the fixture root AND its helper subpackage
+// into one program: the helper is outside detflow's scope, so its roots
+// are reported only at the laundering call sites in the root package.
+func TestDetFlowFixture(t *testing.T) {
+	linttest.RunProgram(t, ".", lint.DetFlow,
+		"./testdata/src/detflow", "./testdata/src/detflow/helper")
+}
+
+func TestHotPathFixture(t *testing.T) {
+	linttest.RunProgram(t, ".", lint.HotPath, "./testdata/src/hotpath")
+}
+
+func TestLockCheckFixture(t *testing.T) {
+	linttest.Run(t, ".", lint.LockCheck, "./testdata/src/lockcheck")
 }
 
 func TestUnitCheckFixture(t *testing.T) {
@@ -56,20 +68,24 @@ func TestEachFixtureViolationHasOneAnalyzer(t *testing.T) {
 	}
 }
 
-// TestScoping pins the AppliesTo package scoping: determinism and
-// floatcmp are restricted to the simulation core, unitcheck exempts
-// internal/units, and seedplumb/errwrap are module-wide.
+// TestScoping pins the AppliesTo package scoping: detflow and floatcmp
+// are restricted to the simulation core (plus, for detflow, the fixture
+// root — but not its helper — so the golden test can exercise the scope
+// boundary), unitcheck exempts internal/units, and the rest are
+// module-wide.
 func TestScoping(t *testing.T) {
 	cases := []struct {
 		analyzer *lint.Analyzer
 		pkgPath  string
 		want     bool
 	}{
-		{lint.Determinism, "ahq/internal/sim", true},
-		{lint.Determinism, "ahq/internal/sched/clite", true},
-		{lint.Determinism, "ahq/cmd/ahqbench", true},
-		{lint.Determinism, "ahq/internal/workload", false},
-		{lint.Determinism, "ahq/cmd/ahqd", false},
+		{lint.DetFlow, "ahq/internal/sim", true},
+		{lint.DetFlow, "ahq/internal/sched/clite", true},
+		{lint.DetFlow, "ahq/cmd/ahqbench", true},
+		{lint.DetFlow, "ahq/internal/workload", false},
+		{lint.DetFlow, "ahq/cmd/ahqd", false},
+		{lint.DetFlow, "ahq/internal/lint/testdata/src/detflow", true},
+		{lint.DetFlow, "ahq/internal/lint/testdata/src/detflow/helper", false},
 		{lint.FloatCmp, "ahq/internal/metrics", true},
 		{lint.FloatCmp, "ahq/internal/cluster", false},
 		{lint.UnitCheck, "ahq/internal/units", false},
@@ -80,7 +96,7 @@ func TestScoping(t *testing.T) {
 			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer.Name, c.pkgPath, got, c.want)
 		}
 	}
-	for _, a := range []*lint.Analyzer{lint.SeedPlumb, lint.ErrWrap} {
+	for _, a := range []*lint.Analyzer{lint.SeedPlumb, lint.ErrWrap, lint.HotPath, lint.LockCheck} {
 		if a.AppliesTo != nil {
 			t.Errorf("%s should be module-wide (AppliesTo == nil)", a.Name)
 		}

@@ -1,0 +1,326 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// DetFlow is the whole-program successor of the original per-package
+// `determinism` analyzer. The old analyzer blocklisted nondeterminism
+// roots — wall-clock reads, the ambient global math/rand functions,
+// environment lookups — but only inside the deterministic packages
+// themselves, so a root laundered through a helper package (a utility in
+// internal/workload calling time.Now, reached from internal/sim) shipped
+// undetected. DetFlow instead marks every function in the module that
+// can reach such a root through the static call graph (callgraph.go,
+// including interface dispatch over the module's interface vocabulary)
+// and reports, inside the deterministic packages:
+//
+//   - direct root calls, exactly as before, and
+//   - calls into tainted out-of-scope functions, with the propagation
+//     chain in the message.
+//
+// A call to a tainted function that is itself in scope is not re-reported
+// — that function carries its own finding at the point where the taint
+// enters it, so each laundering path is reported exactly once, where it
+// crosses into unchecked territory.
+//
+// The map-iteration output check also gains flow awareness: a map-range
+// body may not call fmt print/Fprint functions directly (as before), nor
+// any module function that transitively reaches one — iteration order
+// would leak into output through the helper. Writer-method sinks
+// (Write/WriteString/...) remain direct-only: writer methods are
+// ubiquitous and almost always order-preserving buffers, so chasing them
+// through the graph would drown the signal.
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc: "taint-propagate nondeterminism roots (time.Now, global math/rand, " +
+		"os.Getenv, printing inside map iteration) through the call graph " +
+		"into the deterministic packages",
+	AppliesTo: detFlowInScope,
+	RunProgram: runDetFlow,
+}
+
+// detFlowInScope lists the packages whose behaviour feeds simulation
+// output. The detflow fixture root is deliberately included — and its
+// helper subpackage deliberately excluded — because laundering detection
+// is defined by this boundary: the fixture packages lay out a scope edge
+// the golden test can exercise. Fixture packages are never loaded by the
+// production `ahq/...` / `./...` patterns (the go tool skips testdata).
+func detFlowInScope(pkgPath string) bool {
+	return pathIn(pkgPath,
+		"ahq/internal/sim",
+		"ahq/internal/core",
+		"ahq/internal/entropy",
+		"ahq/internal/sched",
+		"ahq/internal/experiments",
+		"ahq/internal/faults",
+		"ahq/cmd/ahqbench",
+	) || pkgPath == "ahq/internal/lint/testdata/src/detflow"
+}
+
+// rootCall is one direct nondeterminism root found in a function body.
+type rootCall struct {
+	call *ast.CallExpr
+	msg  string
+}
+
+// detFacts carries the per-function flow facts.
+type detFacts struct {
+	roots []rootCall
+	// tainted is non-nil when the function can reach a root; it holds the
+	// human-readable chain suffix from this function to the root, e.g.
+	// "workload.wallClock → time.Now".
+	tainted *taintInfo
+	// prints is true when the function transitively calls a fmt print
+	// function (fan-in for the map-range sink check).
+	prints bool
+}
+
+type taintInfo struct {
+	chain string
+}
+
+func runDetFlow(pass *ProgramPass) {
+	prog := pass.Prog
+	facts := make(map[*FuncNode]*detFacts, len(prog.Nodes))
+	for _, n := range prog.Nodes {
+		f := &detFacts{}
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if msg, root := forbiddenRoot(n.Pkg, call); root {
+				f.roots = append(f.roots, rootCall{call: call, msg: msg})
+			}
+			if fn := pkgFunc(n.Pkg, call); fn != nil && fn.Pkg().Path() == "fmt" && printFuncs[fn.Name()] {
+				f.prints = true
+			}
+			return true
+		})
+		facts[n] = f
+	}
+
+	// Propagate taint and print-reachability backward over the call graph
+	// to a fixed point (the graph is tiny; iterate until stable, which
+	// also handles cycles).
+	callers := prog.Callers()
+	var work []*FuncNode
+	for _, n := range prog.Nodes {
+		f := facts[n]
+		if len(f.roots) > 0 {
+			f.tainted = &taintInfo{chain: rootName(n.Pkg, f.roots[0].call)}
+		}
+		if f.tainted != nil || f.prints {
+			work = append(work, n)
+		}
+	}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		nf := facts[n]
+		for _, caller := range callers[n] {
+			cf := facts[caller]
+			changed := false
+			if nf.tainted != nil && cf.tainted == nil && len(cf.roots) == 0 {
+				cf.tainted = &taintInfo{chain: n.Name() + " → " + nf.tainted.chain}
+				changed = true
+			}
+			if nf.prints && !cf.prints {
+				cf.prints = true
+				changed = true
+			}
+			if changed {
+				work = append(work, caller)
+			}
+		}
+	}
+
+	// Report inside the deterministic packages. The driver re-filters by
+	// AppliesTo; the analyzer needs the same boundary itself because the
+	// "callee carries its own finding" logic depends on it.
+	for _, n := range prog.Nodes {
+		if !detFlowInScope(n.Pkg.PkgPath) {
+			continue
+		}
+		f := facts[n]
+		for _, r := range f.roots {
+			pass.Reportf(r.call.Pos(), "%s", r.msg)
+		}
+		reportLaundering(pass, prog, n, facts)
+		checkMapRangeSinks(pass, prog, n, facts)
+	}
+}
+
+// reportLaundering flags calls from an in-scope function into tainted
+// functions that no in-scope finding covers.
+func reportLaundering(pass *ProgramPass, prog *Program, n *FuncNode, facts map[*FuncNode]*detFacts) {
+	seen := make(map[*FuncNode]bool)
+	for _, c := range n.Calls {
+		callee := prog.Node(c.Callee)
+		if callee == nil || seen[callee] {
+			continue
+		}
+		cf := facts[callee]
+		if cf == nil || cf.tainted == nil {
+			continue
+		}
+		if detFlowInScope(callee.Pkg.PkgPath) {
+			// The callee is checked itself; its own finding marks where
+			// taint enters it.
+			continue
+		}
+		seen[callee] = true
+		via := ""
+		if c.Iface {
+			via = " (reached via interface dispatch)"
+		}
+		pass.Reportf(c.Pos,
+			"call to %s reaches a nondeterminism source outside the checked packages (%s)%s; plumb the value in from configuration instead",
+			callee.Name(), cf.tainted.chain, via)
+	}
+}
+
+// printFuncs is the fmt print family whose output depends on call order.
+var printFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// sinkMethods are writer-method names that serialise data; reached from
+// inside a map-range they emit in nondeterministic order.
+var sinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+// checkMapRangeSinks flags output produced inside map iteration: direct
+// fmt print calls, direct writer-method calls, and calls to module
+// functions that transitively print.
+func checkMapRangeSinks(pass *ProgramPass, prog *Program, n *FuncNode, facts map[*FuncNode]*detFacts) {
+	pkg := n.Pkg
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		rng, ok := x.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(y ast.Node) bool {
+			call, ok := y.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := pkgFunc(pkg, call); fn != nil && fn.Pkg().Path() == "fmt" && printFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"fmt.%s inside map iteration emits in nondeterministic order; collect keys and sort first", fn.Name())
+				return true
+			}
+			// Writer methods: buf.WriteString(...) and friends.
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if m, ok := pkg.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+					if sig, ok := m.Type().(*types.Signature); ok && sig.Recv() != nil && sinkMethods[m.Name()] {
+						pass.Reportf(call.Pos(),
+							"%s inside map iteration writes in nondeterministic order; collect keys and sort first", m.Name())
+						return true
+					}
+				}
+			}
+			// Module functions that transitively print.
+			for _, c := range resolveNodeCalls(prog, n, call) {
+				callee := prog.Node(c.Callee)
+				if callee == nil {
+					continue
+				}
+				if f := facts[callee]; f != nil && f.prints {
+					pass.Reportf(call.Pos(),
+						"%s prints (transitively) inside map iteration, emitting in nondeterministic order; collect keys and sort first",
+						callee.Name())
+					break
+				}
+			}
+			return true
+		})
+		return false // ranges nested in ranges are revisited by the outer Inspect
+	})
+}
+
+// resolveNodeCalls returns the node's recorded call sites at the position
+// of the given call expression.
+func resolveNodeCalls(prog *Program, n *FuncNode, call *ast.CallExpr) []CallSite {
+	var out []CallSite
+	for _, c := range n.Calls {
+		if c.Pos == call.Pos() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// randConstructors are the top-level math/rand functions that build an
+// explicitly seeded generator; they are the approved pattern, everything
+// else at rand package scope draws from the ambient global source.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// pkgFunc resolves a call to the package-level function it invokes, or
+// nil for methods, locals, conversions, and builtins.
+func pkgFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// forbiddenRoot classifies a call as a direct nondeterminism root,
+// returning the diagnostic message to use when it sits in a deterministic
+// package.
+func forbiddenRoot(pkg *Package, call *ast.CallExpr) (string, bool) {
+	fn := pkgFunc(pkg, call)
+	if fn == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			return fmt.Sprintf("time.%s reads the wall clock; simulation time must come from the engine (NowMs)", fn.Name()), true
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			return fmt.Sprintf("rand.%s draws from the ambient global source; use a rand.New(rand.NewSource(seed)) stream plumbed from config", fn.Name()), true
+		}
+	case "os":
+		if fn.Name() == "Getenv" || fn.Name() == "LookupEnv" {
+			return fmt.Sprintf("os.%s makes behaviour depend on the environment; thread configuration through flags or Config fields", fn.Name()), true
+		}
+	}
+	return "", false
+}
+
+// rootName renders the root of a taint chain ("time.Now").
+func rootName(pkg *Package, call *ast.CallExpr) string {
+	if fn := pkgFunc(pkg, call); fn != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return "a nondeterminism source"
+}

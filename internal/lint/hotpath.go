@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPath enforces the repo's 0 allocs/op steady-state claim as a
+// compile-gated invariant instead of a benchmark hope. A function whose
+// doc comment carries the line
+//
+//	//ahq:hotpath
+//
+// — together with every module function it statically reaches through the
+// call graph — must be allocation-free. The analyzer flags the constructs
+// the Go compiler turns into heap allocations on these paths:
+//
+//   - composite literals whose address escapes (&T{...}) and slice/map
+//     composite literals
+//   - append without a visible capacity reserve (an inline reslice
+//     append(x[:0], ...) is the recognised reuse idiom and is exempt)
+//   - make of slices, maps, and channels, and new(T)
+//   - string concatenation with + and []byte<->string conversions
+//     (except the map-index special case m[string(b)], which the
+//     compiler optimises to no allocation)
+//   - function literals (closure headers allocate when they capture)
+//   - interface boxing: passing or returning a concrete non-pointer
+//     value where an interface is expected
+//   - fmt.* calls (their ...any parameters box every operand)
+//
+// Amortised allocations — an append into a slice that a freelist or
+// reset-and-reuse pattern keeps warm — are legitimate on hot paths; they
+// are annotated with //ahqlint:allow hotpath <why> at the site, which the
+// stale-suppression check keeps honest.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "functions annotated //ahq:hotpath, and everything they statically " +
+		"call in the module, must not contain allocating constructs",
+	RunProgram: runHotPath,
+}
+
+// hotPathMarker is the doc-comment annotation that roots the analysis.
+const hotPathMarker = "//ahq:hotpath"
+
+func runHotPath(pass *ProgramPass) {
+	prog := pass.Prog
+
+	// Roots: functions whose doc comment carries the marker.
+	roots := make([]*FuncNode, 0, 8)
+	for _, n := range prog.Nodes {
+		if n.Decl.Doc == nil {
+			continue
+		}
+		for _, c := range n.Decl.Doc.List {
+			if strings.TrimSpace(c.Text) == hotPathMarker {
+				roots = append(roots, n)
+				break
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	// Closure: everything a root statically reaches inside the module.
+	// why records, for diagnostics, how each function entered the hot set.
+	why := make(map[*FuncNode]string, len(roots)*4)
+	queue := make([]*FuncNode, 0, len(roots))
+	for _, r := range roots {
+		if _, ok := why[r]; ok {
+			continue
+		}
+		why[r] = "annotated //ahq:hotpath"
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.Calls {
+			callee := prog.Node(c.Callee)
+			if callee == nil {
+				continue // outside the module; stdlib calls are vetted by hand
+			}
+			if _, ok := why[callee]; ok {
+				continue
+			}
+			why[callee] = "reached from hot path via " + n.Name()
+			queue = append(queue, callee)
+		}
+	}
+
+	// Deterministic reporting order: Nodes is already ordered.
+	for _, n := range prog.Nodes {
+		reason, hot := why[n]
+		if !hot {
+			continue
+		}
+		checkAllocFree(pass, n, reason)
+	}
+}
+
+// checkAllocFree walks one hot function body and reports every allocating
+// construct.
+func checkAllocFree(pass *ProgramPass, n *FuncNode, reason string) {
+	pkg := n.Pkg
+	info := pkg.TypesInfo
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in %s (%s); hot paths must be allocation-free", what, n.Name(), reason)
+	}
+
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		switch node := x.(type) {
+		case *ast.FuncLit:
+			report(node.Pos(), "function literal (closure allocation)")
+			return true // still check the closure body: it runs on the hot path
+
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := unparen(node.X).(*ast.CompositeLit); ok {
+					report(node.Pos(), "escaping composite literal (&T{...})")
+					return false
+				}
+			}
+
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[node]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(node.Pos(), "slice literal")
+				case *types.Map:
+					report(node.Pos(), "map literal")
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && isStringExpr(info, node.X) {
+				report(node.Pos(), "string concatenation")
+			}
+
+		case *ast.CallExpr:
+			checkAllocCall(pass, n, node, report)
+		}
+		return true
+	})
+}
+
+// checkAllocCall classifies one call expression on a hot path.
+func checkAllocCall(pass *ProgramPass, n *FuncNode, call *ast.CallExpr, report func(token.Pos, string)) {
+	info := n.Pkg.TypesInfo
+
+	// Builtins.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				if !isReuseAppend(call) {
+					report(call.Pos(), "append (may grow the backing array)")
+				}
+			case "make":
+				report(call.Pos(), "make")
+			case "new":
+				report(call.Pos(), "new")
+			}
+			return
+		}
+	}
+
+	// Conversions: string(b) / []byte(s) allocate a copy, except the
+	// compiler-recognised map-index form m[string(b)].
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		if from, ok := info.Types[call.Args[0]]; ok {
+			if isStringByteConv(to, from.Type.Underlying()) && !isMapIndexKey(n, call) {
+				report(call.Pos(), "string<->[]byte conversion")
+			}
+		}
+		return
+	}
+
+	// fmt.* boxes every operand into ...any.
+	if fn := pkgFunc(n.Pkg, call); fn != nil && fn.Pkg().Path() == "fmt" {
+		report(call.Pos(), "fmt."+fn.Name()+" call (boxes operands)")
+		return
+	}
+
+	// Interface boxing at argument positions: a concrete non-pointer,
+	// non-interface value passed where the parameter is an interface.
+	sigTV, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok {
+			continue
+		}
+		if types.IsInterface(at.Type) {
+			continue // interface-to-interface: no new box
+		}
+		if _, isPtr := at.Type.Underlying().(*types.Pointer); isPtr {
+			continue // pointers fit in the iface word without allocating
+		}
+		if at.IsNil() {
+			continue
+		}
+		report(arg.Pos(), "interface boxing of "+at.Type.String()+" argument")
+	}
+}
+
+// isReuseAppend recognises the reset-and-reuse idiom append(x[:0], ...):
+// the destination visibly reuses existing capacity.
+func isReuseAppend(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	sl, ok := unparen(call.Args[0]).(*ast.SliceExpr)
+	if !ok {
+		return false
+	}
+	// x[:0] — any slice whose high bound is the literal 0.
+	if lit, ok := sl.High.(*ast.BasicLit); ok && lit.Value == "0" && sl.Low == nil {
+		return true
+	}
+	return false
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringByteConv reports whether a conversion between to and from is a
+// string <-> []byte copy.
+func isStringByteConv(to, from types.Type) bool {
+	return (isStringType(to) && isByteSlice(from)) || (isByteSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isMapIndexKey reports whether the conversion call is the index operand
+// of a map index expression (m[string(b)]), which Go compiles without a
+// copy.
+func isMapIndexKey(n *FuncNode, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		idx, ok := x.(*ast.IndexExpr)
+		if !ok || found {
+			return !found
+		}
+		if unparen(idx.Index) != call {
+			return true
+		}
+		if tv, ok := n.Pkg.TypesInfo.Types[idx.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -11,6 +11,13 @@
 // must match the message of exactly one finding reported on that line.
 // Lines with //ahqlint:allow annotations exercise the suppression path
 // and must therefore produce no finding.
+//
+// Package analyzers use Run, which checks one fixture package ignoring
+// the analyzer's AppliesTo scope. Program analyzers use RunProgram, which
+// loads several fixture packages into one call graph and does honour
+// AppliesTo — cross-package analyses like detflow define their behaviour
+// by a scope boundary, so the fixture layout encodes which packages are
+// inside it.
 package linttest
 
 import (
@@ -25,51 +32,49 @@ import (
 // wantRe pulls the expectation strings out of a `// want` comment.
 var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
 
-// Run loads the fixture package at pattern (relative to dir, typically
-// "./testdata/src/<analyzer>"), applies the analyzer with annotation
-// filtering but without package scoping, and reports any mismatch
-// between findings and `// want` expectations as test failures.
-func Run(t *testing.T, dir string, a *lint.Analyzer, pattern string) {
-	t.Helper()
-	pkgs, err := lint.Load(dir, pattern)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", pattern, err)
-	}
-	if len(pkgs) != 1 {
-		t.Fatalf("fixture %s loaded %d packages, want 1", pattern, len(pkgs))
-	}
-	pkg := pkgs[0]
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
 
-	type want struct {
-		re      *regexp.Regexp
-		matched bool
-	}
-	wants := make(map[string][]*want) // "file:line" -> expectations
-	for _, f := range pkg.Syntax {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "// want ")
-				if !ok {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
-					expr := m[1]
-					if expr == "" {
-						expr = m[2]
+// collectWants parses every `// want` expectation in the packages, keyed
+// by "file:line".
+func collectWants(t *testing.T, pkgs []*lint.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
 					}
-					re, err := regexp.Compile(expr)
-					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", key, expr, err)
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+						expr := m[1]
+						if expr == "" {
+							expr = m[2]
+						}
+						re, err := regexp.Compile(expr)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, expr, err)
+						}
+						wants[key] = append(wants[key], &want{re: re})
 					}
-					wants[key] = append(wants[key], &want{re: re})
 				}
 			}
 		}
 	}
+	return wants
+}
 
-	for _, d := range lint.RunAnalyzerFiltered(pkg, a) {
+// compare matches findings against expectations, reporting both
+// unexpected findings and unmatched expectations.
+func compare(t *testing.T, wants map[string][]*want, diags []lint.Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
 		matched := false
 		for _, w := range wants[key] {
@@ -90,4 +95,37 @@ func Run(t *testing.T, dir string, a *lint.Analyzer, pattern string) {
 			}
 		}
 	}
+}
+
+// Run loads the fixture package at pattern (relative to dir, typically
+// "./testdata/src/<analyzer>"), applies the package analyzer with
+// annotation filtering but without package scoping, and reports any
+// mismatch between findings and `// want` expectations as test failures.
+func Run(t *testing.T, dir string, a *lint.Analyzer, pattern string) {
+	t.Helper()
+	pkgs, err := lint.Load(dir, pattern)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pattern, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s loaded %d packages, want 1", pattern, len(pkgs))
+	}
+	compare(t, collectWants(t, pkgs), lint.RunAnalyzerFiltered(pkgs[0], a))
+}
+
+// RunProgram loads all fixture packages matched by the patterns into one
+// program, applies the program analyzer through the full driver — so
+// AppliesTo scoping, //ahqlint:allow filtering, and suppression-hygiene
+// diagnostics all behave exactly as in production — and compares against
+// the `// want` expectations of every loaded package.
+func RunProgram(t *testing.T, dir string, a *lint.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("patterns %v loaded no packages", patterns)
+	}
+	compare(t, collectWants(t, pkgs), lint.RunAnalyzers(pkgs, []*lint.Analyzer{a}))
 }

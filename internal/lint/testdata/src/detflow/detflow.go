@@ -1,0 +1,100 @@
+// Package detflow is the golden fixture for the detflow analyzer. This
+// package is INSIDE the checked scope; its helper subpackage is outside,
+// so calls into helper exercise the cross-package laundering detection
+// the analyzer exists for. Every seeded violation carries a `// want`
+// expectation; the approved patterns must stay silent.
+package detflow
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ahq/internal/lint/testdata/src/detflow/helper"
+)
+
+const namedSeed int64 = 7
+
+// Direct roots are reported exactly as the original determinism analyzer
+// reported them.
+func clocks() time.Duration {
+	t0 := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func globals() {
+	_ = rand.Int()     // want `ambient global source`
+	_ = rand.Float64() // want `ambient global source`
+	_ = os.Getenv("X") // want `environment`
+}
+
+// seeded is the approved pattern: an explicit generator from a named seed.
+func seeded() float64 {
+	rng := rand.New(rand.NewSource(namedSeed))
+	return rng.Float64()
+}
+
+// Laundering: the roots live in helper, outside the checked scope; the
+// finding lands on the call that imports the taint.
+func laundered() int64 {
+	direct := helper.WallMs()  // want `helper\.WallMs reaches a nondeterminism source .* \(time\.Now\)`
+	hop := helper.Indirect()   // want `helper\.Indirect reaches a nondeterminism source .* \(helper\.WallMs → time\.Now\)`
+	_ = helper.Jitter()        // want `helper\.Jitter reaches a nondeterminism source .* \(rand\.Float64\)`
+	_ = helper.Region()        // want `helper\.Region reaches a nondeterminism source .* \(os\.Getenv\)`
+	clean := helper.Clean(777) // deterministic helper: silent
+	return direct + hop + clean
+}
+
+// Source is part of the fixture's interface vocabulary; dispatch through
+// it resolves to wall.Value below.
+type Source interface {
+	Value() int64
+}
+
+type wall struct{}
+
+// Value launders helper.WallMs; the finding lands HERE, where taint
+// enters checked code, not at the dynamic call site in viaInterface.
+func (wall) Value() int64 {
+	return helper.WallMs() // want `helper\.WallMs reaches a nondeterminism source`
+}
+
+// viaInterface dispatches to an in-scope tainted method: that method
+// carries its own finding, so this call stays silent.
+func viaInterface(s Source) int64 {
+	return s.Value()
+}
+
+var _ Source = wall{}
+
+// Map-iteration sinks, direct and transitive.
+func mapSinks(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration`
+	}
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want `map iteration`
+	}
+	for k, v := range m {
+		helper.Render(k, v) // want `helper\.Render prints \(transitively\) inside map iteration`
+	}
+	// Sorting the keys first is the approved pattern.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k, m[k])
+	}
+}
+
+// timingAllowed exercises the suppression path: no finding expected.
+func timingAllowed() time.Time {
+	return time.Now() //ahqlint:allow detflow fixture-sanctioned wall-clock read
+}

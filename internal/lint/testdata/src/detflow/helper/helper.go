@@ -1,0 +1,31 @@
+// Package helper sits OUTSIDE detflow's checked scope: its functions are
+// laundering vessels. None of the roots here are reported directly —
+// detflow must instead flag the calls that pull them into the checked
+// fixture package next door.
+package helper
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// WallMs reads the wall clock; unreported here, tainted in the graph.
+func WallMs() int64 { return time.Now().UnixMilli() }
+
+// Indirect launders WallMs through one more hop.
+func Indirect() int64 { return WallMs() + 1 }
+
+// Jitter draws from the ambient global source.
+func Jitter() float64 { return rand.Float64() }
+
+// Region reads the environment.
+func Region() string { return os.Getenv("REGION") }
+
+// Clean is genuinely deterministic; calls to it must stay silent.
+func Clean(x int64) int64 { return x * 3 }
+
+// Render prints; calling it from inside a map range in the checked
+// package leaks iteration order into output.
+func Render(k string, v int) { fmt.Println(k, v) }

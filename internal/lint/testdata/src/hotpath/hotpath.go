@@ -1,0 +1,66 @@
+// Package hotpath is the golden fixture for the hotpath analyzer. The
+// //ahq:hotpath marker roots the allocation-freedom check, which then
+// follows the static call graph: helper below is unannotated but reached
+// from a hot function, so its allocations are flagged too, while cold
+// contains the same constructs unflagged.
+package hotpath
+
+import "fmt"
+
+type item struct{ k, v int }
+
+type ring struct {
+	buf []item
+	str string
+}
+
+//ahq:hotpath
+func (r *ring) step(x item) {
+	r.buf = append(r.buf, x) // want `append \(may grow the backing array\)`
+	m := make(map[int]int)   // want `make`
+	m[x.k] = x.v
+	r.str = r.str + "y" // want `string concatenation`
+	p := &item{k: 1}    // want `escaping composite literal`
+	p.v++
+	f := func() { p.v-- } // want `function literal`
+	f()
+	r.helper(x)
+}
+
+// helper is reached from the hot path; it is checked even without the
+// marker, and the diagnostic names the path that reached it.
+func (r *ring) helper(x item) {
+	s := []int{x.k, x.v} // want `slice literal`
+	r.buf[0].k = s[0]
+}
+
+// cold is on no hot path; the same constructs stay silent.
+func cold() []int {
+	s := []int{1, 2, 3}
+	s = append(s, 4)
+	return s
+}
+
+//ahq:hotpath
+func reuse(dst, src []item) []item {
+	// The recognised reset-and-reuse idiom keeps existing capacity.
+	return append(dst[:0], src...)
+}
+
+//ahq:hotpath
+func amortized(r *ring, x item) {
+	r.buf = append(r.buf, x) //ahqlint:allow hotpath amortized growth; the buffer is reused across windows
+}
+
+func sink(v any) { _ = v }
+
+//ahq:hotpath
+func boxes(x item, p *ring) {
+	sink(x) // want `interface boxing of .*item argument`
+	sink(p) // pointers fit the interface word: silent
+}
+
+//ahq:hotpath
+func prints(x item) {
+	fmt.Println(x.k) // want `fmt\.Println call \(boxes operands\)`
+}

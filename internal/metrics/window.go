@@ -12,6 +12,7 @@ type LatencyWindow struct {
 
 // Observe records one completed request's latency in milliseconds.
 func (w *LatencyWindow) Observe(latencyMs float64) {
+	//ahqlint:allow hotpath amortized: the buffer grows to the steady window size once, then Reset reuses it
 	w.samples = append(w.samples, latencyMs)
 }
 

@@ -287,6 +287,7 @@ func (a *appState) arrive(nowMs, dtMs float64) {
 	}
 	if a.cfg.ClosedLoopUsers > 0 {
 		if a.nextIssue == nil {
+			//ahqlint:allow hotpath first-tick-only: seeds the closed-loop users once per run
 			a.nextIssue = make([]float64, a.cfg.ClosedLoopUsers)
 			for u := range a.nextIssue {
 				// Stagger the first round across one think period.
@@ -300,6 +301,7 @@ func (a *appState) arrive(nowMs, dtMs float64) {
 				if at < nowMs {
 					at = nowMs
 				}
+				//ahqlint:allow hotpath amortized: the queue's backing array is reused across ticks (qHead compaction)
 				a.queue = append(a.queue, request{
 					arrivalMs: at,
 					remainMs:  a.sampleService(),
@@ -330,6 +332,7 @@ func (a *appState) arrive(nowMs, dtMs float64) {
 			continue
 		}
 		at := nowMs + a.rng.Float64()*dtMs
+		//ahqlint:allow hotpath amortized: the queue's backing array is reused across ticks (qHead compaction)
 		a.queue = append(a.queue, request{
 			arrivalMs: at,
 			remainMs:  a.sampleService(),

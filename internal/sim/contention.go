@@ -48,7 +48,7 @@ func (e *Engine) resolveCores() {
 			if a.sharedThreads == 0 {
 				continue
 			}
-			members = append(members, a)
+			members = append(members, a) //ahqlint:allow hotpath amortized: scratchMembers reuses its backing array across ticks
 			appsPresent++
 			if a.class == workload.LC {
 				lcThreads += a.sharedThreads
@@ -155,7 +155,7 @@ func (e *Engine) resolveCache() {
 		members := e.scratchMembers[:0]
 		for _, ai := range e.topo.shared[si].members {
 			if a := e.apps[ai]; a.activeThreads > 0 {
-				members = append(members, a)
+				members = append(members, a) //ahqlint:allow hotpath amortized: scratchMembers reuses its backing array across ticks
 			}
 		}
 		e.scratchMembers = members
@@ -271,7 +271,7 @@ type bwReq struct {
 // backing array across ticks.
 func growScratch(buf *[]float64, n int) []float64 {
 	if cap(*buf) < n {
-		*buf = make([]float64, n)
+		*buf = make([]float64, n) //ahqlint:allow hotpath capacity-guarded: runs only when the reusable scratch must grow
 		return *buf
 	}
 	s := (*buf)[:n]
@@ -282,7 +282,7 @@ func growScratch(buf *[]float64, n int) []float64 {
 // growScratchReq is growScratch for bandwidth requests.
 func growScratchReq(buf *[]bwReq, n int) []bwReq {
 	if cap(*buf) < n {
-		*buf = make([]bwReq, n)
+		*buf = make([]bwReq, n) //ahqlint:allow hotpath capacity-guarded: runs only when the reusable scratch must grow
 		return *buf
 	}
 	s := (*buf)[:n]

@@ -24,6 +24,8 @@ package sim
 
 // dispatchHeap serves a's queued requests on its slots for the tick
 // [nowMs, tickEnd), completing what fits and carrying the rest.
+//
+//ahq:hotpath
 func (a *appState) dispatchHeap(nowMs, tickEnd float64) {
 	nSlots := a.threads()
 	isoSlots := a.isoCores
@@ -45,8 +47,9 @@ func (a *appState) dispatchHeap(nowMs, tickEnd float64) {
 		return
 	}
 	if cap(a.slotClock) < usable {
+		//ahqlint:allow hotpath capacity-guarded: the slot arrays grow to the widest slot count once, then are reused
 		a.slotClock = make([]float64, usable)
-		a.slotHeap = make([]int32, usable)
+		a.slotHeap = make([]int32, usable) //ahqlint:allow hotpath capacity-guarded: the slot arrays grow to the widest slot count once, then are reused
 	}
 	clocks := a.slotClock[:usable]
 	h := a.slotHeap[:usable]
@@ -76,7 +79,7 @@ func (a *appState) dispatchHeap(nowMs, tickEnd float64) {
 		if start >= tickEnd {
 			// This request cannot start before the tick ends even on the
 			// earliest slot; wait it out.
-			kept = append(kept, req)
+			kept = append(kept, req) //ahqlint:allow hotpath amortized: keptBuf reuses its backing array across ticks
 			continue
 		}
 		rate := rIso
@@ -91,7 +94,7 @@ func (a *appState) dispatchHeap(nowMs, tickEnd float64) {
 		} else {
 			req.remainMs -= can
 			clocks[top] = tickEnd
-			kept = append(kept, req)
+			kept = append(kept, req) //ahqlint:allow hotpath amortized: keptBuf reuses its backing array across ticks
 		}
 		siftDown(h, clocks)
 	}
@@ -146,7 +149,7 @@ func (a *appState) dispatchSmall(nowMs, tickEnd float64, usable, isoSlots int, r
 			start = req.notBefore
 		}
 		if start >= tickEnd {
-			kept = append(kept, *req)
+			kept = append(kept, *req) //ahqlint:allow hotpath amortized: keptBuf reuses its backing array across ticks
 			continue
 		}
 		rate := rIso
@@ -162,7 +165,7 @@ func (a *appState) dispatchSmall(nowMs, tickEnd float64, usable, isoSlots int, r
 			r := *req
 			r.remainMs -= can
 			clocks[top] = tickEnd
-			kept = append(kept, r)
+			kept = append(kept, r) //ahqlint:allow hotpath amortized: keptBuf reuses its backing array across ticks
 		}
 	}
 	newHead := qi - len(kept)
@@ -210,7 +213,7 @@ func slotLess(x, y int32, clocks []float64) bool {
 func (a *appState) complete(req request, done float64) {
 	lat := done - req.arrivalMs
 	a.latWin.Observe(lat)
-	a.runLat = append(a.runLat, lat)
+	a.runLat = append(a.runLat, lat) //ahqlint:allow hotpath amortized: the run-level accumulator grows toward the run length once
 	if req.user >= 0 && req.user < len(a.nextIssue) {
 		// Closed loop: the user thinks, then reissues.
 		a.nextIssue[req.user] = done + a.rng.ExpFloat64()*a.thinkMean()

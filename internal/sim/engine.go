@@ -401,6 +401,8 @@ func (e *Engine) fastForward(to int64) {
 // The returned slice is backed by an engine-owned buffer that the next
 // RunWindow call reuses; callers that retain observations across windows
 // must copy them first.
+//
+//ahq:hotpath
 func (e *Engine) RunWindow(windowMs float64) []sched.AppWindow {
 	e.windowStartMs = e.nowMs
 	endTick := e.tickCount + windowTicks(windowMs, e.tick)
@@ -450,7 +452,7 @@ func (e *Engine) snapshot(elapsedMs float64) []sched.AppWindow {
 			work := a.workWin.Snapshot()
 			w.IPC = a.cfg.BE.SoloIPC * work / (float64(a.threads()) * elapsedMs)
 		}
-		out = append(out, w)
+		out = append(out, w) //ahqlint:allow hotpath amortized: snapBuf reuses its backing array across windows
 	}
 	e.snapBuf = out
 	return out

@@ -106,6 +106,7 @@ func (m *resolveMemo) grab(n int) []appResolve {
 			return st[:n]
 		}
 	}
+	//ahqlint:allow hotpath miss-path-only: runs once per new vector per epoch when the freelist is empty
 	return make([]appResolve, n)
 }
 
@@ -113,7 +114,7 @@ func (m *resolveMemo) grab(n int) []appResolve {
 // solve the per-app contention fields now hold.
 func (m *resolveMemo) noteVector(apps []*appState) {
 	if cap(m.lastVec) < len(apps) {
-		m.lastVec = make([]uint16, len(apps))
+		m.lastVec = make([]uint16, len(apps)) //ahqlint:allow hotpath capacity-guarded: allocates once, first call
 	}
 	m.lastVec = m.lastVec[:len(apps)]
 	for i, a := range apps {
@@ -127,7 +128,7 @@ func (m *resolveMemo) buildKey(apps []*appState) []byte {
 	k := m.key[:0]
 	for _, a := range apps {
 		t := a.activeThreads
-		k = append(k, byte(t), byte(t>>8))
+		k = append(k, byte(t), byte(t>>8)) //ahqlint:allow hotpath amortized: the key buffer reuses its backing array across ticks
 	}
 	m.key = k
 	return k
@@ -172,6 +173,8 @@ func (a *appState) restore(r *appResolve) {
 // resolveContention computes the tick's contention state, through the memo
 // when possible. Memoization is skipped while any application is warming up
 // (the transient makes the solve time-dependent) and while disabled.
+//
+//ahq:hotpath
 func (e *Engine) resolveContention() {
 	memoOK := !e.memo.disabled && e.nowMs >= e.warmupMaxUntilMs
 	same := memoOK && e.memo.lastOK
@@ -249,7 +252,7 @@ func (e *Engine) resolveContention() {
 	stored := false
 	if small {
 		if e.memo.entries64 == nil {
-			e.memo.entries64 = make(map[uint64][]appResolve)
+			e.memo.entries64 = make(map[uint64][]appResolve) //ahqlint:allow hotpath miss-path-only: lazily builds the table once per run
 		}
 		if len(e.memo.entries64) < memoMaxEntries {
 			e.memo.entries64[key64] = st
@@ -257,7 +260,7 @@ func (e *Engine) resolveContention() {
 		}
 	} else {
 		if e.memo.entries == nil {
-			e.memo.entries = make(map[string][]appResolve)
+			e.memo.entries = make(map[string][]appResolve) //ahqlint:allow hotpath miss-path-only: lazily builds the table once per run
 		}
 		if len(e.memo.entries) < memoMaxEntries {
 			e.memo.entries[string(e.memo.key)] = st
@@ -265,7 +268,7 @@ func (e *Engine) resolveContention() {
 		}
 	}
 	if !stored {
-		e.memo.free = append(e.memo.free, st)
+		e.memo.free = append(e.memo.free, st) //ahqlint:allow hotpath miss-path-only: freelist push when a full table rejects a capture
 	}
 	e.memo.noteVector(e.apps)
 }
@@ -277,7 +280,7 @@ func (e *Engine) adoptSolve(small bool, key64 uint64, st []appResolve) {
 	copy(cp, st)
 	if small {
 		if e.memo.entries64 == nil {
-			e.memo.entries64 = make(map[uint64][]appResolve)
+			e.memo.entries64 = make(map[uint64][]appResolve) //ahqlint:allow hotpath miss-path-only: lazily builds the table once per run
 		}
 		if len(e.memo.entries64) < memoMaxEntries {
 			e.memo.entries64[key64] = cp
@@ -285,12 +288,12 @@ func (e *Engine) adoptSolve(small bool, key64 uint64, st []appResolve) {
 		}
 	} else {
 		if e.memo.entries == nil {
-			e.memo.entries = make(map[string][]appResolve)
+			e.memo.entries = make(map[string][]appResolve) //ahqlint:allow hotpath miss-path-only: lazily builds the table once per run
 		}
 		if len(e.memo.entries) < memoMaxEntries {
 			e.memo.entries[string(e.memo.key)] = cp
 			return
 		}
 	}
-	e.memo.free = append(e.memo.free, cp)
+	e.memo.free = append(e.memo.free, cp) //ahqlint:allow hotpath miss-path-only: freelist push when a full table rejects a capture
 }

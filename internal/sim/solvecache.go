@@ -46,14 +46,14 @@ type SolveCache struct {
 
 type solveShard struct {
 	mu      sync.RWMutex
-	entries map[string][]appResolve
+	entries map[string][]appResolve // guarded by mu
 }
 
 // NewSolveCache returns an empty cache ready for concurrent use.
 func NewSolveCache() *SolveCache {
 	c := &SolveCache{}
 	for i := range c.shards {
-		c.shards[i].entries = make(map[string][]appResolve)
+		c.shards[i].entries = make(map[string][]appResolve) //ahqlint:allow lockcheck construction precedes sharing; no other goroutine can hold the cache yet
 	}
 	return c
 }
@@ -72,6 +72,8 @@ func (c *SolveCache) Len() int {
 
 // lookup returns the cached solve for key, if any. The returned slice is
 // owned by the cache and must not be mutated.
+//
+//ahq:hotpath
 func (c *SolveCache) lookup(key []byte) ([]appResolve, bool) {
 	s := &c.shards[solveShard64(key)%solveShards]
 	s.mu.RLock()
@@ -86,7 +88,7 @@ func (c *SolveCache) store(key []byte, vals []appResolve) {
 	s := &c.shards[solveShard64(key)%solveShards]
 	s.mu.Lock()
 	if _, ok := s.entries[string(key)]; !ok && len(s.entries) < solveShardMaxEntries {
-		s.entries[string(key)] = append([]appResolve(nil), vals...)
+		s.entries[string(key)] = append([]appResolve(nil), vals...) //ahqlint:allow hotpath miss-path-only: copies a new solve into the shared cache once per vector
 	}
 	s.mu.Unlock()
 }
@@ -190,10 +192,10 @@ func (e *Engine) refreshSolvePrefix() {
 // completing the cross-engine key for this tick's solve.
 func (e *Engine) sharedSolveKey() []byte {
 	b := append(e.solveKey[:0], e.solvePrefix...)
-	b = append(b, '|')
+	b = append(b, '|') //ahqlint:allow hotpath amortized: solveKey reuses its backing array across ticks
 	for _, a := range e.apps {
 		t := a.activeThreads
-		b = append(b, byte(t), byte(t>>8))
+		b = append(b, byte(t), byte(t>>8)) //ahqlint:allow hotpath amortized: solveKey reuses its backing array across ticks
 	}
 	e.solveKey = b
 	return b

@@ -95,8 +95,8 @@ var lcCache sync.Map // name -> *lcCacheEntry
 
 type lcCacheEntry struct {
 	once sync.Once
-	app  LCApp
-	err  error
+	app  LCApp // guarded by once
+	err  error // guarded by once
 }
 
 // LCByName returns the calibrated model of one LC application. It is safe
