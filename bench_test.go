@@ -13,10 +13,13 @@ import (
 	"fmt"
 	"testing"
 
+	"ahq/internal/cluster"
+	"ahq/internal/core"
 	"ahq/internal/entropy"
 	"ahq/internal/experiments"
 	"ahq/internal/machine"
 	"ahq/internal/metrics"
+	"ahq/internal/sched"
 	"ahq/internal/sched/arq"
 	"ahq/internal/sim"
 	"ahq/internal/trace"
@@ -64,6 +67,90 @@ func BenchmarkExtWeighted(b *testing.B)      { benchExperiment(b, "ext-weighted"
 func BenchmarkExtHeracles(b *testing.B)      { benchExperiment(b, "ext-heracles") }
 func BenchmarkExtCluster(b *testing.B)       { benchExperiment(b, "ext-cluster") }
 func BenchmarkExtBigNode(b *testing.B)       { benchExperiment(b, "ext-bignode") }
+
+// --- fleet engine benchmarks --------------------------------------------
+
+// fleetBenchPlacement builds the 500-node screening fleet: a catalog of
+// 10 node templates (LC services at discrete loads plus BE co-runners, the
+// datacenter shape ext-fleet sweeps) replicated 50×. Real fleets run a
+// handful of service templates, so this replication is the honest shape —
+// and it is exactly what the fleet engine's cross-node sharing exploits.
+func fleetBenchPlacement(b *testing.B, nodes int) [][]sim.AppConfig {
+	b.Helper()
+	lcNames := []string{"xapian", "moses", "img-dnn", "silo", "masstree", "sphinx"}
+	beNames := []string{"stream", "fluidanimate", "streamcluster"}
+	loads := []float64{0.2, 0.35, 0.5, 0.7}
+	const templates = 10
+	catalog := make([][]sim.AppConfig, templates)
+	k := 0
+	for t := range catalog {
+		for len(catalog[t]) < 2+t%2 {
+			if k%3 == 2 {
+				be := workload.MustBE(beNames[k%len(beNames)])
+				catalog[t] = append(catalog[t], sim.AppConfig{BE: &be})
+			} else {
+				lc := workload.MustLC(lcNames[k%len(lcNames)])
+				catalog[t] = append(catalog[t], sim.AppConfig{LC: &lc, Load: trace.Constant(loads[k%len(loads)])})
+			}
+			k++
+		}
+	}
+	placement := make([][]sim.AppConfig, nodes)
+	for i := range placement {
+		placement[i] = catalog[i%templates]
+	}
+	return placement
+}
+
+// benchFleet drives the 500-node screening fleet at the quick horizon
+// under a common-random-numbers seed policy (every node template runs the
+// same seed, the standard variance-reduction setup for comparing
+// placements). fleetEngine=true is the sharded production path: node
+// classes dedup to one simulation each, solves are shared cross-node, and
+// shards fan out over the worker pool. fleetEngine=false is the
+// sequential seed path — every node simulated in full with an isolated
+// solve memo, exactly as the pre-fleet cluster.Run ran it. Both paths
+// produce bit-identical Results (pinned by TestDedupMatchesFullSimulation
+// and TestFleetSharingDoesNotChangeResults); only the wall time differs.
+func benchFleet(b *testing.B, fleetEngine bool) {
+	const nodes = 500
+	placement := fleetBenchPlacement(b, nodes)
+	opts := core.Options{EpochMs: 500, WarmupMs: 500, DurationMs: 1_500}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var stats cluster.FleetStats
+	for n := 0; n < b.N; n++ {
+		cfg := cluster.Config{
+			Spec:        machine.DefaultSpec(),
+			Seed:        int64(n + 1),
+			NewStrategy: func(int) sched.Strategy { return arq.Default() },
+			Placement:   placement,
+			NodeSeed:    func(int) int64 { return int64(n + 1) },
+		}
+		if fleetEngine {
+			cfg.DedupIdenticalNodes = true
+		} else {
+			cfg.Parallel = 1
+			cfg.DisableSolveSharing = true
+		}
+		res, err := cluster.Run(cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = res.Stats
+	}
+	b.ReportMetric(float64(stats.NodesSimulated), "nodesims/op")
+	b.ReportMetric(float64(stats.SharedSolveHits), "sharedhits/op")
+}
+
+// BenchmarkFleet is the sharded fleet engine: node-class dedup plus
+// cross-node solve sharing — the fleet screening production path.
+func BenchmarkFleet(b *testing.B) { benchFleet(b, true) }
+
+// BenchmarkFleetSequential is the seed baseline: the same 500 nodes
+// simulated one by one with isolated solve memos, as the pre-sharding
+// cluster.Run ran them.
+func BenchmarkFleetSequential(b *testing.B) { benchFleet(b, false) }
 
 // --- micro-benchmarks of the substrate hot paths ------------------------
 

@@ -1,17 +1,34 @@
-// Package cluster scales the Ah-Q model from one node to a small
-// datacenter: several simulated nodes, each managed by its own controller
+// Package cluster scales the Ah-Q model from one node to a datacenter
+// fleet: thousands of simulated nodes, each managed by its own controller
 // and strategy instance, with the system entropy aggregated over every
 // collocated application in the fleet. The paper defines E_S "in a
 // datacenter"; this package is the multi-node reading of that definition,
 // and shows how E_S ranks *placements* the same way it ranks schedulers.
+//
+// Run is a sharded fleet engine: the node index space is cut into
+// contiguous shards, shards fan out over a bounded worker pool
+// (internal/pool, the same implementation the experiment harness uses),
+// and every node's engine threads one shared contention-solve cache —
+// fleet mixes recur massively across nodes, so after the first few nodes
+// almost every steady-state solve is a cache adoption rather than a
+// fixed-point iteration. Aggregation is streaming: each shard accumulates
+// run-level entropy samples and compact per-node summaries as its nodes
+// finish, per-node core.Results are discarded by default (KeepResults
+// retains them), and shard accumulators are merged in node order — so a
+// 5000-node fleet fits comfortably in memory and the result is
+// byte-identical at every parallelism level.
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"reflect"
+	"sync"
 
 	"ahq/internal/core"
 	"ahq/internal/entropy"
 	"ahq/internal/machine"
+	workpool "ahq/internal/pool"
 	"ahq/internal/sched"
 	"ahq/internal/sim"
 	"ahq/internal/workload"
@@ -23,7 +40,9 @@ type Config struct {
 	Spec machine.Spec
 	// Seed drives all nodes deterministically (node i uses Seed+i).
 	Seed int64
-	// NewStrategy builds one strategy instance per node.
+	// NewStrategy builds one strategy instance per node. It is called from
+	// shard workers, so it must be safe for concurrent calls and must
+	// return a fresh instance every time (strategies are stateful).
 	NewStrategy func(node int) sched.Strategy
 	// Placement assigns the application set to nodes: Placement[i] holds
 	// node i's applications. Every node needs at least one application.
@@ -31,27 +50,245 @@ type Config struct {
 	// RI is the relative importance for the global entropy; 0 means the
 	// paper's 0.8.
 	RI float64
+	// Parallel bounds how many node simulations run simultaneously;
+	// <= 0 means runtime.NumCPU(), 1 runs the shards sequentially.
+	// Results are merged in node order, so the output is identical at
+	// every parallelism level.
+	Parallel int
+	// NodeSeed optionally overrides the per-node seed policy; nil means
+	// node i runs with Seed+i (independent stochastic streams per node).
+	// Screening runs that want common random numbers across replicated
+	// node templates supply a policy returning equal seeds for equal
+	// templates.
+	NodeSeed func(node int) int64
+	// DedupIdenticalNodes opts into fleet-level node memoisation: nodes
+	// whose seed and application template coincide — possible only under a
+	// NodeSeed policy assigning equal seeds — are provably bit-identical
+	// simulations, so the engine runs one representative per equivalence
+	// class and replicates its summary and samples to every member. The
+	// aggregate is byte-identical to simulating every node (pinned by
+	// TestDedupMatchesFullSimulation); only wall time changes. Requires
+	// NewStrategy to return node-index-agnostic strategies, and under
+	// KeepResults the members of a class share one *core.Result.
+	DedupIdenticalNodes bool
+	// SharedSolves optionally supplies the cross-node contention-solve
+	// cache. Nil means Run creates a fleet-private one; callers that sweep
+	// several fleets over the same mixes (the experiment harness) pass a
+	// sweep-scoped cache so solves carry across Run invocations too.
+	// Sharing is bit-exact, so it never changes results.
+	SharedSolves *sim.SolveCache
+	// DisableSolveSharing runs every node engine with an isolated solve
+	// memo — the pre-fleet sequential baseline path, kept for benchmark
+	// comparison. It overrides SharedSolves.
+	DisableSolveSharing bool
+	// KeepResults retains the full per-node core.Result in Result.Nodes.
+	// Off by default: at fleet scale the per-node results dominate memory,
+	// and the compact NodeSummary carries everything aggregation needs.
+	KeepResults bool
 }
 
-// NodeResult pairs one node's controller outcome with its index.
+// NodeResult pairs one node's full controller outcome with its index
+// (retained only under Config.KeepResults).
 type NodeResult struct {
 	Node   int
 	Result *core.Result
 }
 
+// NodeSummary is the compact per-node record the fleet engine keeps in
+// place of a full core.Result: the node's run-level entropies and the
+// counters fleet-level reporting aggregates.
+type NodeSummary struct {
+	Node int
+	// ELC/EBE/ES are the node's run-level entropies (core.Result.RunELC
+	// etc.); NaN-free only when the node had computable samples.
+	ELC, EBE, ES float64
+	// Yield is the node-local satisfied fraction of its LC applications.
+	Yield float64
+	// LCApps and BEApps count the node's applications by class.
+	LCApps, BEApps int
+	// ViolationEpochs sums LC violation epochs over the node's apps.
+	ViolationEpochs int
+	// Epochs counts the node's measured monitoring intervals.
+	Epochs int
+	// Incidents counts degradation events the node's controller survived.
+	Incidents int
+}
+
+// FleetStats aggregates solve-cache instrumentation over the fleet. The
+// counters depend on worker scheduling (which engine reached a vector
+// first), so they are for benchmarks and logs, never deterministic output.
+type FleetStats struct {
+	// NodesRun counts the fleet's logical nodes.
+	NodesRun int
+	// NodesSimulated counts engines actually driven: equal to NodesRun
+	// except under DedupIdenticalNodes, where it is the number of node
+	// equivalence classes.
+	NodesSimulated int
+	// MemoHits are per-engine memo hits, Solves are full fixed-point
+	// solves, SharedSolveHits are solves adopted from the cross-node cache.
+	MemoHits, Solves, SharedSolveHits uint64
+}
+
 // Result aggregates a cluster run.
 type Result struct {
-	// Nodes holds the per-node controller results.
+	// Summaries holds the compact per-node records, in node order.
+	Summaries []NodeSummary
+	// Nodes holds the full per-node controller results, only when
+	// Config.KeepResults; empty otherwise.
 	Nodes []NodeResult
 	// GlobalELC/GlobalEBE/GlobalES are computed over the pooled run-level
 	// samples of every application in the cluster — the datacenter-wide
 	// E_S of the paper's definition.
 	GlobalELC, GlobalEBE, GlobalES float64
 	// GlobalYield is the satisfied fraction over all LC applications.
+	// Meaningful only when YieldDefined; a fleet with no LC samples has no
+	// yield (GlobalYield stays 0 and YieldDefined false).
 	GlobalYield float64
+	// YieldDefined reports whether GlobalYield was computable.
+	YieldDefined bool
+	// TotalViolationEpochs sums LC violation epochs over every node.
+	TotalViolationEpochs int
+	// MeasuredEpochs sums the per-node measured monitoring intervals.
+	MeasuredEpochs int
+	// Stats carries fleet-wide solve-cache instrumentation.
+	Stats FleetStats
 }
 
-// Run drives every node for the same horizon and aggregates.
+// ViolationRate is the fleet's LC violation fraction: violation epochs per
+// measured LC-application-epoch. Zero when the fleet has no LC epochs.
+func (r *Result) ViolationRate() float64 {
+	lcEpochs := 0
+	for i := range r.Summaries {
+		lcEpochs += r.Summaries[i].Epochs * r.Summaries[i].LCApps
+	}
+	if lcEpochs == 0 {
+		return 0
+	}
+	return float64(r.TotalViolationEpochs) / float64(lcEpochs)
+}
+
+// statsCollector accumulates FleetStats across shard workers.
+type statsCollector struct {
+	mu    sync.Mutex
+	stats FleetStats // guarded by mu
+}
+
+// add merges one shard's counters.
+func (c *statsCollector) add(simulated int, hits, solves, shared uint64) {
+	c.mu.Lock()
+	c.stats.NodesSimulated += simulated
+	c.stats.MemoHits += hits
+	c.stats.Solves += solves
+	c.stats.SharedSolveHits += shared
+	c.mu.Unlock()
+}
+
+// snapshot returns the accumulated counters.
+func (c *statsCollector) snapshot() FleetStats {
+	c.mu.Lock()
+	s := c.stats
+	c.mu.Unlock()
+	return s
+}
+
+// nodeClass is one simulation equivalence class: the representative node
+// index, its seed, and every node the class covers. Without dedup each
+// node is its own singleton class, so the class list IS the node list.
+type nodeClass struct {
+	rep     int
+	seed    int64
+	members []int
+}
+
+// nodeSeed applies the configured per-node seed policy.
+func nodeSeed(cfg *Config, i int) int64 {
+	if cfg.NodeSeed != nil {
+		return cfg.NodeSeed(i)
+	}
+	return cfg.Seed + int64(i)
+}
+
+// templateSig is a cheap bucket key for class grouping (names only);
+// candidates that collide are confirmed by deep template equality.
+func templateSig(apps []sim.AppConfig) string {
+	b := make([]byte, 0, 16*len(apps))
+	for _, a := range apps {
+		b = append(b, a.Name()...)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// nodeClasses groups the fleet into simulation classes. Grouping scans
+// nodes in ascending order and always elects the lowest member as the
+// representative, so the class list — and therefore everything downstream
+// — is deterministic for a fixed configuration.
+func nodeClasses(cfg *Config) []nodeClass {
+	n := len(cfg.Placement)
+	classes := make([]nodeClass, 0, n)
+	if !cfg.DedupIdenticalNodes {
+		for i := 0; i < n; i++ {
+			classes = append(classes, nodeClass{rep: i, seed: nodeSeed(cfg, i), members: []int{i}})
+		}
+		return classes
+	}
+	type bucketKey struct {
+		seed int64
+		sig  string
+	}
+	buckets := make(map[bucketKey][]int, n)
+	for i := 0; i < n; i++ {
+		k := bucketKey{nodeSeed(cfg, i), templateSig(cfg.Placement[i])}
+		found := -1
+		for _, ci := range buckets[k] {
+			if reflect.DeepEqual(cfg.Placement[classes[ci].rep], cfg.Placement[i]) {
+				found = ci
+				break
+			}
+		}
+		if found >= 0 {
+			classes[found].members = append(classes[found].members, i)
+			continue
+		}
+		buckets[k] = append(buckets[k], len(classes))
+		classes = append(classes, nodeClass{rep: i, seed: k.seed, members: []int{i}})
+	}
+	return classes
+}
+
+// classOut is one simulated class's streaming record: the summary
+// template (Node is stamped per member at merge), the class's valid
+// entropy samples, and the full result when kept.
+type classOut struct {
+	sum NodeSummary
+	lc  []entropy.LCSample
+	be  []entropy.BESample
+	res *core.Result // populated only under Config.KeepResults
+}
+
+// shardAccum is one shard's streaming accumulator: class records for a
+// contiguous class range, appended in class order as each representative
+// finishes and its full result is dropped.
+type shardAccum struct {
+	outs []classOut
+}
+
+// shardsFor picks the shard count: enough shards per worker that an
+// unlucky slow shard cannot serialise the tail of the run, never more
+// shards than nodes. The count never affects results — shard accumulators
+// are merged in node order regardless of how the index space was cut.
+func shardsFor(nodes, workers int) int {
+	s := workers * 4
+	if s > nodes {
+		s = nodes
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Run drives every node of the fleet for the same horizon and aggregates.
 func Run(cfg Config, opts core.Options) (*Result, error) {
 	if len(cfg.Placement) == 0 {
 		return nil, fmt.Errorf("cluster: empty placement")
@@ -59,18 +296,137 @@ func Run(cfg Config, opts core.Options) (*Result, error) {
 	if cfg.NewStrategy == nil {
 		return nil, fmt.Errorf("cluster: no strategy factory")
 	}
-	ri := cfg.RI
-	if ri == 0 {
-		ri = entropy.DefaultRI
-	}
-	res := &Result{}
-	var lcAll []entropy.LCSample
-	var beAll []entropy.BESample
 	for i, apps := range cfg.Placement {
 		if len(apps) == 0 {
 			return nil, fmt.Errorf("cluster: node %d has no applications", i)
 		}
-		engine, err := sim.New(sim.Config{Spec: cfg.Spec, Seed: cfg.Seed + int64(i), Apps: apps})
+	}
+	ri := cfg.RI
+	if ri == 0 {
+		ri = entropy.DefaultRI
+	}
+	solves := cfg.SharedSolves
+	if cfg.DisableSolveSharing {
+		solves = nil
+	} else if solves == nil {
+		solves = sim.NewSolveCache()
+	}
+
+	ex := workpool.New(cfg.Parallel)
+	n := len(cfg.Placement)
+	classes := nodeClasses(&cfg)
+	classOf := make([]int, n)
+	for ci, c := range classes {
+		for _, m := range c.members {
+			classOf[m] = ci
+		}
+	}
+	stats := &statsCollector{}
+	shards := shardsFor(len(classes), ex.Workers())
+	futs := make([]*workpool.Future[*shardAccum], 0, shards)
+	for s := 0; s < shards; s++ {
+		// Contiguous ranges, remainder spread over the leading shards.
+		lo := s * len(classes) / shards
+		hi := (s + 1) * len(classes) / shards
+		futs = append(futs, workpool.Submit(ex, func() (*shardAccum, error) {
+			return runShard(cfg, opts, classes[lo:hi], solves, stats)
+		}))
+	}
+
+	// Collect class records in class order, then expand to nodes in node
+	// order — the merge is invariant to shard count and scheduling.
+	outs := make([]classOut, 0, len(classes))
+	for _, f := range futs {
+		acc, err := f.Wait()
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, acc.outs...)
+	}
+	res := &Result{Summaries: make([]NodeSummary, 0, n)}
+	var lcAll []entropy.LCSample
+	var beAll []entropy.BESample
+	for i := 0; i < n; i++ {
+		co := &outs[classOf[i]]
+		sum := co.sum
+		sum.Node = i
+		res.Summaries = append(res.Summaries, sum)
+		lcAll = append(lcAll, co.lc...)
+		beAll = append(beAll, co.be...)
+		res.TotalViolationEpochs += sum.ViolationEpochs
+		res.MeasuredEpochs += sum.Epochs
+		if cfg.KeepResults {
+			res.Nodes = append(res.Nodes, NodeResult{Node: i, Result: co.res})
+		}
+	}
+
+	elc, ebe, es, err := entropy.System{RI: ri}.Compute(lcAll, beAll)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: global entropy: %w", err)
+	}
+	res.GlobalELC, res.GlobalEBE, res.GlobalES = elc, ebe, es
+	// An absent-LC fleet legitimately has no yield; anything else failing
+	// here is a real error and must not silently leave GlobalYield at 0.
+	switch y, err := entropy.Yield(lcAll); {
+	case err == nil:
+		res.GlobalYield, res.YieldDefined = y, true
+	case errors.Is(err, entropy.ErrNoSamples):
+		// BE-only fleet: recorded explicitly via YieldDefined == false.
+	default:
+		return nil, fmt.Errorf("cluster: global yield: %w", err)
+	}
+	res.Stats = stats.snapshot()
+	res.Stats.NodesRun = n
+	return res, nil
+}
+
+// uniquify disambiguates duplicate workload names on one node with an
+// instance suffix ("xapian", "xapian#2", ...). Fleet populations replicate
+// a small catalog of service templates, so placements routinely co-locate
+// two instances of the same template; the engine requires distinct names.
+// Renaming copies the workload struct — the name never enters the solve
+// key or any numeric path, so instances share solves exactly like
+// identically-named apps would. Placements with unique names pass through
+// untouched.
+func uniquify(apps []sim.AppConfig) []sim.AppConfig {
+	seen := make(map[string]int, len(apps))
+	out := apps
+	for i, a := range apps {
+		name := a.Name()
+		seen[name]++
+		n := seen[name]
+		if n == 1 {
+			continue
+		}
+		if &out[0] == &apps[0] {
+			out = append([]sim.AppConfig(nil), apps...)
+		}
+		switch {
+		case a.LC != nil:
+			lc := *a.LC
+			lc.Name = fmt.Sprintf("%s#%d", name, n)
+			out[i].LC = &lc
+		case a.BE != nil:
+			be := *a.BE
+			be.Name = fmt.Sprintf("%s#%d", name, n)
+			out[i].BE = &be
+		}
+	}
+	return out
+}
+
+// runShard simulates a contiguous range of node classes, streaming each
+// representative's samples and summary into the shard accumulator and
+// dropping the full result unless the configuration keeps it.
+func runShard(cfg Config, opts core.Options, classes []nodeClass, solves *sim.SolveCache, stats *statsCollector) (*shardAccum, error) {
+	acc := &shardAccum{outs: make([]classOut, 0, len(classes))}
+	var hits, solvesN, shared uint64
+	for _, c := range classes {
+		i := c.rep
+		engine, err := sim.New(sim.Config{
+			Spec: cfg.Spec, Seed: c.seed,
+			Apps: uniquify(cfg.Placement[i]), SharedSolves: solves,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
@@ -78,24 +434,35 @@ func Run(cfg Config, opts core.Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
-		res.Nodes = append(res.Nodes, NodeResult{Node: i, Result: nodeRes})
+		co := classOut{sum: NodeSummary{
+			ELC: nodeRes.RunELC, EBE: nodeRes.RunEBE, ES: nodeRes.RunES,
+			Yield:           nodeRes.Yield,
+			ViolationEpochs: nodeRes.TotalViolationEpochs,
+			Epochs:          nodeRes.Epochs,
+			Incidents:       len(nodeRes.Incidents),
+		}}
 		for _, a := range nodeRes.Apps {
 			if a.Spec.Class == workload.LC {
+				co.sum.LCApps++
 				if a.LCSample.Validate() == nil {
-					lcAll = append(lcAll, a.LCSample)
+					co.lc = append(co.lc, a.LCSample)
 				}
-			} else if a.BESample.Validate() == nil {
-				beAll = append(beAll, a.BESample)
+			} else {
+				co.sum.BEApps++
+				if a.BESample.Validate() == nil {
+					co.be = append(co.be, a.BESample)
+				}
 			}
 		}
+		if cfg.KeepResults {
+			co.res = nodeRes
+		}
+		acc.outs = append(acc.outs, co)
+		h, s, sh := engine.SolveStats()
+		hits += h
+		solvesN += s
+		shared += sh
 	}
-	elc, ebe, es, err := entropy.System{RI: ri}.Compute(lcAll, beAll)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: global entropy: %w", err)
-	}
-	res.GlobalELC, res.GlobalEBE, res.GlobalES = elc, ebe, es
-	if y, err := entropy.Yield(lcAll); err == nil {
-		res.GlobalYield = y
-	}
-	return res, nil
+	stats.add(len(classes), hits, solvesN, shared)
+	return acc, nil
 }

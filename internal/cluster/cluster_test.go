@@ -109,16 +109,97 @@ func TestClusterRunAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Nodes) != 2 {
-		t.Fatalf("got %d node results", len(res.Nodes))
+	if len(res.Summaries) != 2 {
+		t.Fatalf("got %d node summaries", len(res.Summaries))
+	}
+	if len(res.Nodes) != 0 {
+		t.Fatalf("full results retained without KeepResults: %d", len(res.Nodes))
+	}
+	for i, s := range res.Summaries {
+		if s.Node != i {
+			t.Errorf("summary %d is for node %d; merge order broken", i, s.Node)
+		}
+		if s.LCApps+s.BEApps != len(placement[i]) {
+			t.Errorf("node %d summary counts %d+%d apps, placed %d",
+				i, s.LCApps, s.BEApps, len(placement[i]))
+		}
+		if s.Epochs <= 0 {
+			t.Errorf("node %d measured no epochs", i)
+		}
 	}
 	for _, v := range []float64{res.GlobalELC, res.GlobalEBE, res.GlobalES} {
 		if math.IsNaN(v) || v < 0 || v > 1 {
 			t.Errorf("global entropy out of range: %g", v)
 		}
 	}
+	if !res.YieldDefined {
+		t.Error("fleet with LC apps must have a defined yield")
+	}
 	if res.GlobalYield < 0 || res.GlobalYield > 1 {
 		t.Errorf("global yield = %g", res.GlobalYield)
+	}
+	if res.MeasuredEpochs <= 0 || res.Stats.NodesRun != 2 {
+		t.Errorf("fleet counters: epochs %d, nodes run %d", res.MeasuredEpochs, res.Stats.NodesRun)
+	}
+	if v := res.ViolationRate(); v < 0 || v > 1 {
+		t.Errorf("violation rate = %g", v)
+	}
+}
+
+// TestKeepResultsMatchesSummaries pins that the streaming summaries carry
+// the same values callers previously read off the full per-node results.
+func TestKeepResultsMatchesSummaries(t *testing.T) {
+	placement, err := Balanced(fleetApps(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Spec:        machine.DefaultSpec(),
+		Seed:        1,
+		NewStrategy: func(int) sched.Strategy { return arq.Default() },
+		Placement:   placement,
+		KeepResults: true,
+	}
+	res, err := Run(cfg, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 2 {
+		t.Fatalf("KeepResults retained %d node results", len(res.Nodes))
+	}
+	for i, nr := range res.Nodes {
+		if nr.Node != i {
+			t.Errorf("node result %d is for node %d", i, nr.Node)
+		}
+		s := res.Summaries[i]
+		if s.ES != nr.Result.RunES || s.Yield != nr.Result.Yield ||
+			s.ViolationEpochs != nr.Result.TotalViolationEpochs || s.Epochs != nr.Result.Epochs {
+			t.Errorf("node %d summary diverges from its full result: %+v", i, s)
+		}
+	}
+}
+
+// TestYieldUndefinedOnBEOnlyFleet pins the Yield-error bugfix: a fleet
+// without LC applications reports the yield as undefined instead of
+// silently leaving a zero that reads as "every app violated".
+func TestYieldUndefinedOnBEOnlyFleet(t *testing.T) {
+	res, err := Run(Config{
+		Spec:        machine.DefaultSpec(),
+		Seed:        3,
+		NewStrategy: func(int) sched.Strategy { return static.Unmanaged{} },
+		Placement:   [][]sim.AppConfig{{beApp("stream")}, {beApp("fluidanimate")}},
+	}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.YieldDefined {
+		t.Error("BE-only fleet reported a defined yield")
+	}
+	if res.GlobalYield != 0 {
+		t.Errorf("undefined yield must stay 0, got %g", res.GlobalYield)
+	}
+	if math.IsNaN(res.GlobalEBE) || res.GlobalEBE < 0 || res.GlobalEBE > 1 {
+		t.Errorf("BE-only fleet E_BE = %g, want in [0,1]", res.GlobalEBE)
 	}
 }
 

@@ -1,0 +1,179 @@
+package cluster
+
+// The placement conformance suite: every strategy — random, round-robin,
+// pack, balanced, scored — must place every application exactly once,
+// leave no node empty (given at least as many applications as nodes),
+// reject a non-positive node count, and be deterministic for a fixed
+// input. New strategies join by adding one entry to placementStrategies.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ahq/internal/machine"
+	"ahq/internal/sim"
+)
+
+// placementStrategies enumerates every placement under its experiment
+// label, normalised to the (apps, nodes) signature.
+func placementStrategies() []struct {
+	name  string
+	place func(apps []sim.AppConfig, nodes int) ([][]sim.AppConfig, error)
+} {
+	spec := machine.DefaultSpec()
+	return []struct {
+		name  string
+		place func(apps []sim.AppConfig, nodes int) ([][]sim.AppConfig, error)
+	}{
+		{"random", func(a []sim.AppConfig, n int) ([][]sim.AppConfig, error) { return Random(a, n, 11) }},
+		{"round-robin", RoundRobin},
+		{"pack", func(a []sim.AppConfig, n int) ([][]sim.AppConfig, error) { return Pack(a, n, 8) }},
+		{"balanced", Balanced},
+		{"scored", func(a []sim.AppConfig, n int) ([][]sim.AppConfig, error) { return Scored(a, n, spec) }},
+	}
+}
+
+// conformanceApps builds a population large enough to exercise multi-app
+// nodes: count apps cycling through LC services at varied loads plus BE
+// co-runners.
+func conformanceApps(count int) []sim.AppConfig {
+	lcNames := []string{"xapian", "moses", "img-dnn", "silo", "masstree", "sphinx"}
+	beNames := []string{"stream", "fluidanimate", "streamcluster"}
+	loads := []float64{0.2, 0.35, 0.5, 0.7}
+	var apps []sim.AppConfig
+	for i := 0; len(apps) < count; i++ {
+		if i%3 == 2 {
+			apps = append(apps, beApp(beNames[i%len(beNames)]))
+		} else {
+			apps = append(apps, lcAt(lcNames[i%len(lcNames)], loads[i%len(loads)]))
+		}
+	}
+	return apps
+}
+
+// appKey identifies an AppConfig well enough to count multiset coverage.
+func appKey(a sim.AppConfig) string {
+	if a.LC != nil {
+		load := 0.0
+		if a.Load != nil {
+			load = a.Load.At(0)
+		}
+		return fmt.Sprintf("lc:%s@%.3f", a.LC.Name, load)
+	}
+	if a.BE != nil {
+		return "be:" + a.BE.Name
+	}
+	return "empty"
+}
+
+func countApps(placement [][]sim.AppConfig) map[string]int {
+	got := map[string]int{}
+	for _, node := range placement {
+		for _, a := range node {
+			got[appKey(a)]++
+		}
+	}
+	return got
+}
+
+func TestPlacementConformance(t *testing.T) {
+	for _, nodes := range []int{1, 2, 5, 16} {
+		apps := conformanceApps(nodes * 3)
+		want := countApps([][]sim.AppConfig{apps})
+		for _, s := range placementStrategies() {
+			t.Run(fmt.Sprintf("%s/%dnodes", s.name, nodes), func(t *testing.T) {
+				got, err := s.place(apps, nodes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != nodes {
+					t.Fatalf("returned %d nodes, want %d", len(got), nodes)
+				}
+				for n, node := range got {
+					if len(node) == 0 {
+						t.Errorf("node %d left empty with %d apps over %d nodes", n, len(apps), nodes)
+					}
+				}
+				if counts := countApps(got); !reflect.DeepEqual(counts, want) {
+					t.Errorf("placement does not cover the population exactly once:\n got %v\nwant %v", counts, want)
+				}
+			})
+		}
+	}
+}
+
+func TestPlacementRejectsNonPositiveNodes(t *testing.T) {
+	apps := conformanceApps(6)
+	for _, s := range placementStrategies() {
+		for _, nodes := range []int{0, -1} {
+			if _, err := s.place(apps, nodes); err == nil {
+				t.Errorf("%s accepted %d nodes", s.name, nodes)
+			}
+		}
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	apps := conformanceApps(24)
+	for _, s := range placementStrategies() {
+		a, errA := s.place(apps, 6)
+		b, errB := s.place(apps, 6)
+		if errA != nil || errB != nil {
+			t.Fatalf("%s: %v / %v", s.name, errA, errB)
+		}
+		if !reflect.DeepEqual(placementShape(a), placementShape(b)) {
+			t.Errorf("%s placement differs across identical invocations", s.name)
+		}
+	}
+}
+
+// placementShape renders a placement as node → app keys, comparable
+// across invocations without comparing pointers.
+func placementShape(p [][]sim.AppConfig) [][]string {
+	out := make([][]string, len(p))
+	for n, node := range p {
+		for _, a := range node {
+			out[n] = append(out[n], appKey(a))
+		}
+	}
+	return out
+}
+
+// TestScoredSpreadsMixes sanity-checks the scoring objective: with two
+// nodes, bandwidth-hungry BE applications must not all pile onto the node
+// holding the LC applications when an emptier one is available.
+func TestScoredSpreadsMixes(t *testing.T) {
+	apps := []sim.AppConfig{
+		lcAt("xapian", 0.6),
+		lcAt("moses", 0.4),
+		beApp("stream"),
+		beApp("stream"),
+	}
+	placement, err := Scored(apps, 2, machine.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, node := range placement {
+		lc, be := 0, 0
+		for _, a := range node {
+			if a.LC != nil {
+				lc++
+			} else {
+				be++
+			}
+		}
+		if be == 2 && lc == 2 {
+			t.Errorf("node %d took every app; scoring failed to spread", n)
+		}
+	}
+}
+
+func TestScoredRejectsUncoverableFleet(t *testing.T) {
+	if _, err := Scored(conformanceApps(3), 5, machine.DefaultSpec()); err == nil {
+		t.Error("scored accepted 3 apps over 5 nodes")
+	}
+	if _, err := Random(conformanceApps(3), 5, 1); err == nil {
+		t.Error("random accepted 3 apps over 5 nodes")
+	}
+}

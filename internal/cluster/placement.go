@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"ahq/internal/sim"
@@ -29,6 +30,31 @@ func EstimateDemand(app sim.AppConfig) float64 {
 		return BEElasticity * float64(app.BE.Threads)
 	}
 	return 0
+}
+
+// Random scatters applications over nodes from a seeded stream — the
+// placement-oblivious baseline every scoring strategy is measured against.
+// The first len(nodes) draws of a shuffled application order seed one
+// application per node (no node may run empty), the rest land uniformly at
+// random. Deterministic for a fixed seed.
+func Random(apps []sim.AppConfig, nodes int, seed int64) ([][]sim.AppConfig, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	if len(apps) < nodes {
+		return nil, fmt.Errorf("cluster: %d applications cannot cover %d nodes", len(apps), nodes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(apps))
+	out := make([][]sim.AppConfig, nodes)
+	for n := 0; n < nodes; n++ {
+		out[n] = append(out[n], apps[perm[n]])
+	}
+	for _, i := range perm[nodes:] {
+		n := rng.Intn(nodes)
+		out[n] = append(out[n], apps[i])
+	}
+	return out, nil
 }
 
 // RoundRobin deals applications across nodes in order.

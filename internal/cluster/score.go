@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"ahq/internal/machine"
+	"ahq/internal/sim"
+)
+
+// Scored is the interference-aware placement: instead of balancing a
+// single demand scalar, every candidate node is scored by the co-location
+// pressure the application would create there — utilisation headroom,
+// memory-bandwidth saturation, and the LC↔BE cross-interference the Ah-Q
+// model says dominates tail damage — and the app goes to the
+// lowest-scoring node. The shape follows the scoring schedulers of the
+// related work (paws' temporal-utilisation scorer, Mage's online
+// interference-aware placement): predict the pressure of each fit, pick
+// the least-interfering node, deterministically.
+//
+// Score terms, all dimensionless, lower is better:
+//
+//   - utilisation: ((demand+d)/cores)² — squared so near-saturated nodes
+//     repel further load much harder than half-empty ones;
+//   - bandwidth: ((bw+b)/memGBps)² — same shape for the memory bus, the
+//     resource the paper's worst interference cases (Stream) saturate;
+//   - cross-interference: for an LC candidate, the node's resident BE
+//     bandwidth appetite (BE co-runners are what destroy LC tails); for a
+//     BE candidate, its own appetite times the node's resident LC demand
+//     (a bandwidth hog belongs on the LC-lightest node);
+//   - spread: a small linear utilisation term so equal-interference ties
+//     break toward the less-loaded node, and node order breaks exact ties.
+
+// Scoring weights. Utilisation and bandwidth terms are already in [0,~1]²
+// at sane packing; the cross term is the product of two such fractions,
+// so it gets a heavier weight to stay audible.
+const (
+	scoreBWWeight     = 1.0
+	scoreCrossWeight  = 2.0
+	scoreSpreadWeight = 0.1
+)
+
+// appDemand is the per-application precomputation the scoring loop reads:
+// core demand, class, and memory-bandwidth appetite.
+type appDemand struct {
+	idx  int
+	d    float64
+	gbps float64
+	isLC bool
+}
+
+// nodeLoad is the running per-node state the greedy assignment updates.
+type nodeLoad struct {
+	demand   float64 // total estimated core demand
+	lcDemand float64 // LC share of demand
+	beGBps   float64 // resident BE bandwidth appetite
+	lcGBps   float64 // resident LC bandwidth appetite
+	count    int
+}
+
+// placementScore predicts the interference pressure of putting an
+// application with demand d and bandwidth appetite gbps on a node in
+// state st. Pure float math: this is the fleet placement hot loop,
+// invoked O(apps × nodes) times at datacenter scale.
+//
+//ahq:hotpath
+func placementScore(st *nodeLoad, d, gbps float64, isLC bool, cores, memGBps float64) float64 {
+	u := (st.demand + d) / cores
+	bw := (st.beGBps + st.lcGBps + gbps) / memGBps
+	var cross float64
+	if isLC {
+		cross = st.beGBps / memGBps
+	} else {
+		cross = (gbps / memGBps) * (st.lcDemand / cores)
+	}
+	return u*u + scoreBWWeight*bw*bw + scoreCrossWeight*cross + scoreSpreadWeight*u
+}
+
+// bandwidthAppetite returns the application's worst-case memory-bandwidth
+// draw in GB/s: threads times the per-thread appetite of its sensitivity
+// model, elasticity-discounted for BE work like EstimateDemand.
+func bandwidthAppetite(app sim.AppConfig) float64 {
+	if app.LC != nil {
+		return float64(app.LC.Threads) * app.LC.Sens.MemGBpsPerThread
+	}
+	if app.BE != nil {
+		return BEElasticity * float64(app.BE.Threads) * app.BE.Sens.MemGBpsPerThread
+	}
+	return 0
+}
+
+// Scored assigns each application to the node where the interference
+// score predicts the least co-location pressure. Applications are placed
+// in descending demand order (largest first, like Balanced) so the big
+// immovable objects land before the flexible small ones; ties in score
+// break toward the lowest node index. Placement is fully deterministic.
+//
+// Every node must end non-empty, so len(apps) >= nodes is required: once
+// the number of unplaced applications equals the number of still-empty
+// nodes, candidates are restricted to the empty nodes.
+func Scored(apps []sim.AppConfig, nodes int, spec machine.Spec) ([][]sim.AppConfig, error) {
+	return scored(apps, nodes, float64(spec.Cores), spec.MemBWGBps)
+}
+
+func scored(apps []sim.AppConfig, nodes int, cores, memGBps float64) ([][]sim.AppConfig, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	if len(apps) < nodes {
+		return nil, fmt.Errorf("cluster: %d applications cannot cover %d nodes", len(apps), nodes)
+	}
+	if cores <= 0 || memGBps <= 0 {
+		return nil, fmt.Errorf("cluster: scored placement needs positive node capacity (cores %.3g, mem %.3g GB/s)", cores, memGBps)
+	}
+	demands := make([]appDemand, len(apps))
+	for i, a := range apps {
+		demands[i] = appDemand{idx: i, d: EstimateDemand(a), gbps: bandwidthAppetite(a), isLC: a.LC != nil}
+	}
+	sort.SliceStable(demands, func(a, b int) bool { return demands[a].d > demands[b].d })
+
+	out := make([][]sim.AppConfig, nodes)
+	load := make([]nodeLoad, nodes)
+	empty := nodes
+	for placed, ad := range demands {
+		remaining := len(demands) - placed
+		mustFill := remaining <= empty
+		best, bestScore := -1, 0.0
+		for n := range load {
+			if mustFill && load[n].count > 0 {
+				continue
+			}
+			s := placementScore(&load[n], ad.d, ad.gbps, ad.isLC, cores, memGBps)
+			if best < 0 || s < bestScore {
+				best, bestScore = n, s
+			}
+		}
+		st := &load[best]
+		out[best] = append(out[best], apps[ad.idx])
+		st.demand += ad.d
+		if st.count == 0 {
+			empty--
+		}
+		st.count++
+		if ad.isLC {
+			st.lcDemand += ad.d
+			st.lcGBps += ad.gbps
+		} else {
+			st.beGBps += ad.gbps
+		}
+	}
+	return out, nil
+}

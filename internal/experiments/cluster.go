@@ -69,6 +69,12 @@ func runExtCluster(cfg RunConfig) (*Result, error) {
 				Seed:        cfg.Seed,
 				NewStrategy: func(int) sched.Strategy { return arqFactory() },
 				Placement:   placement,
+				// Nodes run inline: the experiment pool already bounds
+				// concurrency across the three placements. The shared
+				// solve cache is bit-exact, so threading it through
+				// cannot change a printed byte.
+				Parallel:     1,
+				SharedSolves: pl.solves,
 			}, opts)
 			if err != nil {
 				return clusterOut{}, err

@@ -1,20 +1,19 @@
 package experiments
 
 import (
-	"runtime"
-
 	"ahq/internal/core"
 	"ahq/internal/machine"
+	workpool "ahq/internal/pool"
 	"ahq/internal/sim"
 )
 
 // The experiment harness is an embarrassingly parallel sweep: every row of
 // every table is one independent, seed-deterministic engine + controller
 // run (sim.Engine is "not safe for concurrent use" per engine, but separate
-// engines share nothing mutable). A pool fans those runs out over a bounded
-// set of workers while the runner collects the futures in declaration
-// order, so the rendered output is byte-identical to a sequential run at
-// any parallelism level.
+// engines share nothing mutable). The bounded worker pool itself lives in
+// internal/pool — the cluster fleet engine shards over the same
+// implementation — while this file binds it to the harness: sizing from
+// RunConfig, plus the invocation-scoped solve cache.
 
 // pool bounds how many simulation jobs run simultaneously for one runner
 // invocation. It also owns the invocation's shared contention-solve cache:
@@ -24,46 +23,31 @@ import (
 // resolver input), so results remain byte-identical at every parallelism
 // level, with or without the cache.
 type pool struct {
-	sem    chan struct{}
+	ex     *workpool.Pool
 	solves *sim.SolveCache
 }
 
 // newPool sizes the executor from the run configuration: Parallel workers,
 // or runtime.NumCPU() when Parallel <= 0 (1 disables concurrency).
 func newPool(cfg RunConfig) *pool {
-	n := cfg.Parallel
-	if n <= 0 {
-		n = runtime.NumCPU()
-	}
-	return &pool{sem: make(chan struct{}, n), solves: sim.NewSolveCache()}
+	return &pool{ex: workpool.New(cfg.Parallel), solves: sim.NewSolveCache()}
 }
 
-// future is the pending result of a submitted job. The result slots are
-// published by the worker goroutine's deferred close(done): writes happen
-// before the close, reads happen after a receive.
+// future is the pending result of a submitted job, read back with wait in
+// declaration order by the runners.
 type future[T any] struct {
-	done chan struct{}
-	val  T     // guarded by done
-	err  error // guarded by done
+	f *workpool.Future[T]
 }
 
 // submit schedules fn on the pool and returns its future. Jobs start in
 // submission order as workers free up; results are read back with wait.
 func submit[T any](p *pool, fn func() (T, error)) *future[T] {
-	f := &future[T]{done: make(chan struct{})}
-	go func() {
-		defer close(f.done)
-		p.sem <- struct{}{}
-		defer func() { <-p.sem }()
-		f.val, f.err = fn()
-	}()
-	return f
+	return &future[T]{f: workpool.Submit(p.ex, fn)}
 }
 
 // wait blocks until the job finishes and returns its result.
 func (f *future[T]) wait() (T, error) {
-	<-f.done
-	return f.val, f.err
+	return f.f.Wait()
 }
 
 // runMixAsync submits one runMix invocation to the pool, wiring the pool's

@@ -82,6 +82,8 @@ func TestScoping(t *testing.T) {
 		{lint.DetFlow, "ahq/internal/sim", true},
 		{lint.DetFlow, "ahq/internal/sched/clite", true},
 		{lint.DetFlow, "ahq/cmd/ahqbench", true},
+		{lint.DetFlow, "ahq/internal/cluster", true},
+		{lint.DetFlow, "ahq/internal/pool", true},
 		{lint.DetFlow, "ahq/internal/workload", false},
 		{lint.DetFlow, "ahq/cmd/ahqd", false},
 		{lint.DetFlow, "ahq/internal/lint/testdata/src/detflow", true},

@@ -56,6 +56,8 @@ func detFlowInScope(pkgPath string) bool {
 		"ahq/internal/sched",
 		"ahq/internal/experiments",
 		"ahq/internal/faults",
+		"ahq/internal/cluster",
+		"ahq/internal/pool",
 		"ahq/cmd/ahqbench",
 	) || pkgPath == "ahq/internal/lint/testdata/src/detflow"
 }

@@ -1,0 +1,55 @@
+// Package pool is the bounded worker pool + future pattern shared by the
+// experiment harness and the cluster fleet engine. Both call sites fan
+// independent, seed-deterministic simulation jobs out over a fixed number
+// of workers and read the results back in submission (declaration) order,
+// so rendered output is byte-identical to a sequential run at any
+// parallelism level. The pool only bounds concurrency; ordering is the
+// caller's, by waiting on futures in the order it submitted them.
+package pool
+
+import "runtime"
+
+// Pool bounds how many submitted jobs run simultaneously.
+type Pool struct {
+	sem chan struct{}
+}
+
+// New sizes the executor: workers jobs run at once, or runtime.NumCPU()
+// when workers <= 0 (1 disables concurrency).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Future is the pending result of a submitted job. The result slots are
+// published by the worker goroutine's deferred close(done): writes happen
+// before the close, reads happen after a receive.
+type Future[T any] struct {
+	done chan struct{}
+	val  T     // guarded by done
+	err  error // guarded by done
+}
+
+// Submit schedules fn on the pool and returns its future. Jobs start in
+// submission order as workers free up; results are read back with Wait.
+func Submit[T any](p *Pool, fn func() (T, error)) *Future[T] {
+	f := &Future[T]{done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		f.val, f.err = fn()
+	}()
+	return f
+}
+
+// Wait blocks until the job finishes and returns its result.
+func (f *Future[T]) Wait() (T, error) {
+	<-f.done
+	return f.val, f.err
+}

@@ -1,0 +1,78 @@
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSubmissionOrderResults(t *testing.T) {
+	p := New(4)
+	var futs []*Future[int]
+	for i := 0; i < 32; i++ {
+		futs = append(futs, Submit(p, func() (int, error) { return i * i, nil }))
+	}
+	for i, f := range futs {
+		v, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i*i {
+			t.Errorf("job %d returned %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestPropagatesErrors(t *testing.T) {
+	p := New(2)
+	boom := errors.New("boom")
+	ok := Submit(p, func() (string, error) { return "fine", nil })
+	bad := Submit(p, func() (string, error) { return "", boom })
+	if v, err := ok.Wait(); err != nil || v != "fine" {
+		t.Errorf("ok job: %q, %v", v, err)
+	}
+	if _, err := bad.Wait(); !errors.Is(err, boom) {
+		t.Errorf("bad job err = %v", err)
+	}
+}
+
+func TestBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	if p.Workers() != workers {
+		t.Fatalf("Workers() = %d, want %d", p.Workers(), workers)
+	}
+	var running, peak atomic.Int32
+	var mu sync.Mutex
+	var futs []*Future[struct{}]
+	for i := 0; i < 24; i++ {
+		futs = append(futs, Submit(p, func() (struct{}, error) {
+			n := running.Add(1)
+			mu.Lock()
+			if n > peak.Load() {
+				peak.Store(n)
+			}
+			mu.Unlock()
+			running.Add(-1)
+			return struct{}{}, nil
+		}))
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := peak.Load(); got > workers {
+		t.Errorf("observed %d concurrent jobs, cap is %d", got, workers)
+	}
+}
+
+func TestDefaultWorkersIsNumCPU(t *testing.T) {
+	if got := New(0).Workers(); got < 1 {
+		t.Errorf("New(0).Workers() = %d, want >= 1", got)
+	}
+	if got := New(-3).Workers(); got < 1 {
+		t.Errorf("New(-3).Workers() = %d, want >= 1", got)
+	}
+}

@@ -32,6 +32,16 @@ type AppContention struct {
 	QueueLen int
 }
 
+// SolveStats reports the contention-solve cache counters: per-engine memo
+// hits, full fixed-point solves, and solves adopted from the cross-engine
+// shared cache. The counters are instrumentation — when a shared cache is
+// attached, the hit/adopt split depends on which engine got to a vector
+// first, i.e. on worker scheduling — so they must never feed deterministic
+// output; the solved values themselves are bit-identical either way.
+func (e *Engine) SolveStats() (hits, solves, sharedHits uint64) {
+	return e.memo.hits, e.memo.misses, e.memo.sharedHits
+}
+
 // Contention returns the per-application contention snapshot from the most
 // recent tick, in configuration order.
 func (e *Engine) Contention() []AppContention {
