@@ -29,13 +29,14 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		runID    = flag.String("run", "", "experiment id to run (see -list)")
-		all      = flag.Bool("all", false, "run every experiment")
-		seed     = flag.Int64("seed", 42, "simulation seed")
-		quick    = flag.Bool("quick", false, "short horizons (smoke test)")
-		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
-		parallel = flag.Int("parallel", 0, "simulation runs to execute concurrently per experiment (0 = NumCPU, 1 = sequential); output is identical at any level")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		runID     = flag.String("run", "", "experiment id to run (see -list)")
+		all       = flag.Bool("all", false, "run every experiment")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		quick     = flag.Bool("quick", false, "short horizons (smoke test)")
+		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
+		parallel  = flag.Int("parallel", 0, "simulation runs to execute concurrently per experiment (0 = NumCPU, 1 = sequential); output is identical at any level")
+		nodeCache = flag.Bool("fleet-node-cache", true, "share completed node simulations across the ext-fleet sweep's placements (bit-exact; disable to benchmark the uncached path)")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick, Parallel: *parallel}
+	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick, Parallel: *parallel, FleetNodeCacheOff: !*nodeCache}
 	var ids []string
 	switch {
 	case *all:

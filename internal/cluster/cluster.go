@@ -22,7 +22,6 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"reflect"
 	"sync"
 
 	"ahq/internal/core"
@@ -71,6 +70,23 @@ type Config struct {
 	// NewStrategy to return node-index-agnostic strategies, and under
 	// KeepResults the members of a class share one *core.Result.
 	DedupIdenticalNodes bool
+	// NodeCache optionally supplies a sweep-scoped cache of completed
+	// node simulations (nodecache.go): before simulating a class
+	// representative the engine looks up the class's content-addressed
+	// key — every input the simulation reads, bit-exactly — and a hit
+	// replays the record the identical computation produced in an earlier
+	// Run (or in a racing shard, via single-flight). Byte-identical
+	// output by construction; only wall time changes. Requires
+	// StrategyDigest and is rejected together with KeepResults (cached
+	// records deliberately do not retain full per-node results).
+	NodeCache *NodeCache
+	// StrategyDigest declares the identity of what NewStrategy builds —
+	// the one node-simulation input the engine cannot serialise itself,
+	// since the factory is opaque. Required when NodeCache is set; the
+	// digest must change whenever the strategy's behaviour (type, config,
+	// tunables) does, and the factory must return node-index-agnostic
+	// instances, exactly as DedupIdenticalNodes already requires.
+	StrategyDigest string
 	// SharedSolves optionally supplies the cross-node contention-solve
 	// cache. Nil means Run creates a fleet-private one; callers that sweep
 	// several fleets over the same mixes (the experiment harness) pass a
@@ -127,6 +143,9 @@ type FleetStats struct {
 	// MemoHits are per-engine memo hits, Solves are full fixed-point
 	// solves, SharedSolveHits are solves adopted from the cross-node cache.
 	MemoHits, Solves, SharedSolveHits uint64
+	// NodeCacheHits counts node classes whose simulation was replayed
+	// from Config.NodeCache instead of being run.
+	NodeCacheHits uint64
 }
 
 // Result aggregates a cluster run.
@@ -174,12 +193,13 @@ type statsCollector struct {
 }
 
 // add merges one shard's counters.
-func (c *statsCollector) add(simulated int, hits, solves, shared uint64) {
+func (c *statsCollector) add(simulated int, hits, solves, shared, nodeHits uint64) {
 	c.mu.Lock()
 	c.stats.NodesSimulated += simulated
 	c.stats.MemoHits += hits
 	c.stats.Solves += solves
 	c.stats.SharedSolveHits += shared
+	c.stats.NodeCacheHits += nodeHits
 	c.mu.Unlock()
 }
 
@@ -192,12 +212,15 @@ func (c *statsCollector) snapshot() FleetStats {
 }
 
 // nodeClass is one simulation equivalence class: the representative node
-// index, its seed, and every node the class covers. Without dedup each
-// node is its own singleton class, so the class list IS the node list.
+// index, its seed, its canonical template serialisation (empty when the
+// template is not key-serialisable or no consumer needs it), and every
+// node the class covers. Without dedup each node is its own singleton
+// class, so the class list IS the node list.
 type nodeClass struct {
-	rep     int
-	seed    int64
-	members []int
+	rep      int
+	seed     int64
+	template string
+	members  []int
 }
 
 // nodeSeed applies the configured per-node seed policy.
@@ -208,50 +231,61 @@ func nodeSeed(cfg *Config, i int) int64 {
 	return cfg.Seed + int64(i)
 }
 
-// templateSig is a cheap bucket key for class grouping (names only);
-// candidates that collide are confirmed by deep template equality.
-func templateSig(apps []sim.AppConfig) string {
-	b := make([]byte, 0, 16*len(apps))
-	for _, a := range apps {
-		b = append(b, a.Name()...)
-		b = append(b, ',')
-	}
-	return string(b)
-}
-
-// nodeClasses groups the fleet into simulation classes. Grouping scans
-// nodes in ascending order and always elects the lowest member as the
-// representative, so the class list — and therefore everything downstream
-// — is deterministic for a fixed configuration.
+// nodeClasses groups the fleet into simulation classes by canonical
+// template digest: two nodes land in one class exactly when their seeds
+// match and their templates serialise to the same full key — the digest IS
+// the complete serialisation, compared by map-key equality, so grouping is
+// collision-safe without any deep-equality confirmation pass and the scan
+// is O(total template size) instead of the old quadratic within-bucket
+// reflect.DeepEqual walk. Nodes whose template is not key-serialisable are
+// never grouped (each stays a singleton class, the conservative reading).
+// Grouping scans nodes in ascending order and always elects the lowest
+// member as the representative, so the class list — and therefore
+// everything downstream — is deterministic for a fixed configuration.
+// Template keys are retained on the classes when the Run carries a
+// NodeCache, which shares this exact serialisation machinery.
 func nodeClasses(cfg *Config) []nodeClass {
 	n := len(cfg.Placement)
+	needKeys := cfg.NodeCache != nil
 	classes := make([]nodeClass, 0, n)
 	if !cfg.DedupIdenticalNodes {
 		for i := 0; i < n; i++ {
-			classes = append(classes, nodeClass{rep: i, seed: nodeSeed(cfg, i), members: []int{i}})
+			c := nodeClass{rep: i, seed: nodeSeed(cfg, i), members: []int{i}}
+			if needKeys {
+				if k, ok := templateKey(cfg.Placement[i]); ok {
+					c.template = string(k)
+				}
+			}
+			classes = append(classes, c)
 		}
 		return classes
 	}
 	type bucketKey struct {
-		seed int64
-		sig  string
+		seed     int64
+		template string
 	}
-	buckets := make(map[bucketKey][]int, n)
+	buckets := make(map[bucketKey]int, n)
 	for i := 0; i < n; i++ {
-		k := bucketKey{nodeSeed(cfg, i), templateSig(cfg.Placement[i])}
-		found := -1
-		for _, ci := range buckets[k] {
-			if reflect.DeepEqual(cfg.Placement[classes[ci].rep], cfg.Placement[i]) {
-				found = ci
-				break
-			}
-		}
-		if found >= 0 {
-			classes[found].members = append(classes[found].members, i)
+		seed := nodeSeed(cfg, i)
+		k, ok := templateKey(cfg.Placement[i])
+		if !ok {
+			classes = append(classes, nodeClass{rep: i, seed: seed, members: []int{i}})
 			continue
 		}
-		buckets[k] = append(buckets[k], len(classes))
-		classes = append(classes, nodeClass{rep: i, seed: k.seed, members: []int{i}})
+		bk := bucketKey{seed, string(k)}
+		if ci, dup := buckets[bk]; dup {
+			classes[ci].members = append(classes[ci].members, i)
+			continue
+		}
+		buckets[bk] = len(classes)
+		classes = append(classes, nodeClass{rep: i, seed: seed, template: bk.template, members: []int{i}})
+	}
+	if !needKeys {
+		// The serialisations were only grouping scratch; do not retain
+		// them past classing.
+		for i := range classes {
+			classes[i].template = ""
+		}
 	}
 	return classes
 }
@@ -301,6 +335,14 @@ func Run(cfg Config, opts core.Options) (*Result, error) {
 			return nil, fmt.Errorf("cluster: node %d has no applications", i)
 		}
 	}
+	if cfg.NodeCache != nil {
+		if cfg.StrategyDigest == "" {
+			return nil, fmt.Errorf("cluster: NodeCache requires a StrategyDigest (the strategy factory is opaque; declare what it builds)")
+		}
+		if cfg.KeepResults {
+			return nil, fmt.Errorf("cluster: NodeCache cannot be combined with KeepResults (cached records do not retain full per-node results)")
+		}
+	}
 	ri := cfg.RI
 	if ri == 0 {
 		ri = entropy.DefaultRI
@@ -321,6 +363,10 @@ func Run(cfg Config, opts core.Options) (*Result, error) {
 			classOf[m] = ci
 		}
 	}
+	var keyPrefix []byte
+	if cfg.NodeCache != nil {
+		keyPrefix = nodeKeyPrefix(&cfg, opts, ri)
+	}
 	stats := &statsCollector{}
 	shards := shardsFor(len(classes), ex.Workers())
 	futs := make([]*workpool.Future[*shardAccum], 0, shards)
@@ -329,7 +375,7 @@ func Run(cfg Config, opts core.Options) (*Result, error) {
 		lo := s * len(classes) / shards
 		hi := (s + 1) * len(classes) / shards
 		futs = append(futs, workpool.Submit(ex, func() (*shardAccum, error) {
-			return runShard(cfg, opts, classes[lo:hi], solves, stats)
+			return runShard(cfg, opts, keyPrefix, classes[lo:hi], solves, stats)
 		}))
 	}
 
@@ -415,54 +461,110 @@ func uniquify(apps []sim.AppConfig) []sim.AppConfig {
 	return out
 }
 
-// runShard simulates a contiguous range of node classes, streaming each
-// representative's samples and summary into the shard accumulator and
-// dropping the full result unless the configuration keeps it.
-func runShard(cfg Config, opts core.Options, classes []nodeClass, solves *sim.SolveCache, stats *statsCollector) (*shardAccum, error) {
+// runShard drives a contiguous range of node classes, streaming each
+// class's record into the shard accumulator. With a NodeCache configured
+// each class first resolves its content-addressed key: a published entry
+// replays the identical simulation's record, an in-flight entry is waited
+// on (a racing shard — possibly of another Run sharing the cache — is
+// computing this exact class right now), and otherwise the shard simulates
+// the representative itself, publishing the outcome when it claimed the
+// key. Full per-node results are dropped unless the configuration keeps
+// them.
+func runShard(cfg Config, opts core.Options, keyPrefix []byte, classes []nodeClass, solves *sim.SolveCache, stats *statsCollector) (*shardAccum, error) {
 	acc := &shardAccum{outs: make([]classOut, 0, len(classes))}
-	var hits, solvesN, shared uint64
+	var hits, solvesN, shared, nodeHits uint64
+	simulated := 0
 	for _, c := range classes {
-		i := c.rep
-		engine, err := sim.New(sim.Config{
-			Spec: cfg.Spec, Seed: c.seed,
-			Apps: uniquify(cfg.Placement[i]), SharedSolves: solves,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
-		}
-		nodeRes, err := core.Run(engine, cfg.NewStrategy(i), opts)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
-		}
-		co := classOut{sum: NodeSummary{
-			ELC: nodeRes.RunELC, EBE: nodeRes.RunEBE, ES: nodeRes.RunES,
-			Yield:           nodeRes.Yield,
-			ViolationEpochs: nodeRes.TotalViolationEpochs,
-			Epochs:          nodeRes.Epochs,
-			Incidents:       len(nodeRes.Incidents),
-		}}
-		for _, a := range nodeRes.Apps {
-			if a.Spec.Class == workload.LC {
-				co.sum.LCApps++
-				if a.LCSample.Validate() == nil {
-					co.lc = append(co.lc, a.LCSample)
+		key := ""
+		if cfg.NodeCache != nil && c.template != "" {
+			key = nodeKey(keyPrefix, c.seed, c.template)
+			if e, ok := cfg.NodeCache.lookup(key); ok {
+				co, err := e.wait()
+				if err != nil {
+					return nil, fmt.Errorf("cluster: node %d: %w", c.rep, err)
 				}
-			} else {
-				co.sum.BEApps++
-				if a.BESample.Validate() == nil {
-					co.be = append(co.be, a.BESample)
-				}
+				acc.outs = append(acc.outs, co)
+				nodeHits++
+				continue
 			}
 		}
-		if cfg.KeepResults {
-			co.res = nodeRes
+		var entry *nodeCacheEntry
+		if key != "" {
+			var claimed bool
+			if entry, claimed = cfg.NodeCache.claim(key); entry != nil && !claimed {
+				// Lost the claim race: adopt the racer's record.
+				co, err := entry.wait()
+				if err != nil {
+					return nil, fmt.Errorf("cluster: node %d: %w", c.rep, err)
+				}
+				acc.outs = append(acc.outs, co)
+				nodeHits++
+				continue
+			}
+			// claimed, or the shard was full (entry == nil): simulate;
+			// publish only when claimed.
+		}
+		co, cs, err := simulateClass(&cfg, opts, c, solves)
+		if entry != nil {
+			entry.complete(co, err)
+		}
+		if err != nil {
+			return nil, err
 		}
 		acc.outs = append(acc.outs, co)
-		h, s, sh := engine.SolveStats()
-		hits += h
-		solvesN += s
-		shared += sh
+		simulated++
+		hits += cs.memoHits
+		solvesN += cs.solves
+		shared += cs.sharedHits
 	}
-	stats.add(len(classes), hits, solvesN, shared)
+	stats.add(simulated, hits, solvesN, shared, nodeHits)
 	return acc, nil
+}
+
+// classSolveStats carries one simulated class's engine solve counters.
+type classSolveStats struct {
+	memoHits, solves, sharedHits uint64
+}
+
+// simulateClass runs one node class's representative simulation end to end
+// and condenses it into the class record.
+func simulateClass(cfg *Config, opts core.Options, c nodeClass, solves *sim.SolveCache) (classOut, classSolveStats, error) {
+	i := c.rep
+	engine, err := sim.New(sim.Config{
+		Spec: cfg.Spec, Seed: c.seed,
+		Apps: uniquify(cfg.Placement[i]), SharedSolves: solves,
+	})
+	if err != nil {
+		return classOut{}, classSolveStats{}, fmt.Errorf("cluster: node %d: %w", i, err)
+	}
+	nodeRes, err := core.Run(engine, cfg.NewStrategy(i), opts)
+	if err != nil {
+		return classOut{}, classSolveStats{}, fmt.Errorf("cluster: node %d: %w", i, err)
+	}
+	co := classOut{sum: NodeSummary{
+		ELC: nodeRes.RunELC, EBE: nodeRes.RunEBE, ES: nodeRes.RunES,
+		Yield:           nodeRes.Yield,
+		ViolationEpochs: nodeRes.TotalViolationEpochs,
+		Epochs:          nodeRes.Epochs,
+		Incidents:       len(nodeRes.Incidents),
+	}}
+	for _, a := range nodeRes.Apps {
+		if a.Spec.Class == workload.LC {
+			co.sum.LCApps++
+			if a.LCSample.Validate() == nil {
+				co.lc = append(co.lc, a.LCSample)
+			}
+		} else {
+			co.sum.BEApps++
+			if a.BESample.Validate() == nil {
+				co.be = append(co.be, a.BESample)
+			}
+		}
+	}
+	if cfg.KeepResults {
+		co.res = nodeRes
+	}
+	var cs classSolveStats
+	cs.memoHits, cs.solves, cs.sharedHits = engine.SolveStats()
+	return co, cs, nil
 }

@@ -36,6 +36,13 @@ type Options struct {
 	RecordTimeline bool
 }
 
+// WithDefaults returns the options as Run will actually interpret them,
+// zero fields replaced by the documented defaults. Exported for callers
+// that key work on the effective options — the fleet engine's node-outcome
+// cache serialises the normalised form so that a default spelled
+// explicitly and a zero value cannot split a cache key.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.EpochMs <= 0 {
 		o.EpochMs = 500

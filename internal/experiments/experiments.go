@@ -32,6 +32,12 @@ type RunConfig struct {
 	// bit-exact, so it never changes results — only how often a row must
 	// re-derive a solve a sibling row already computed.
 	Solves *sim.SolveCache
+	// FleetNodeCacheOff disables the ext-fleet sweep's node-outcome
+	// cache (cluster.NodeCache), forcing every placement to re-simulate
+	// node contents other placements already ran. The cache is bit-exact
+	// by construction, so this changes wall time only; the CI smoke pins
+	// stdout equality on vs off.
+	FleetNodeCacheOff bool
 }
 
 // Result is a runner's output: one or more rendered tables.

@@ -69,8 +69,22 @@ func fleetPopulation(seed int64, nodes int) []sim.AppConfig {
 // strategies at 100, 1000 and 5000 nodes, not just schedulers on one box.
 // Every fleet runs through the sharded cluster engine — nodes fan out over
 // the worker pool and share one contention-solve cache — with per-node ARQ
-// managing each box. Wall-clock per row goes to stderr; stdout is
-// byte-identical at every -parallel level.
+// managing each box.
+//
+// The sweep is a screening comparison, so it runs under common random
+// numbers: each node's seed derives from its (canonically ordered)
+// application contents, not its index, which is the standard
+// variance-reduction setup for comparing placements — two placements that
+// put the same applications on a box see the identical box, and observed
+// differences are placement differences, not seed noise. CRN is also what
+// makes "simulate each unique node once per sweep" a theorem rather than a
+// heuristic: identical contents are bit-identical simulations, collapsed
+// within a fleet by DedupIdenticalNodes and across the whole sweep
+// (placements and fleet sizes) by the sweep-scoped cluster.NodeCache,
+// which replays completed node records by content-addressed key. Both
+// layers are bit-exact by construction, so stdout is byte-identical with
+// the node cache on or off and at every -parallel level (CI-enforced);
+// wall-clock and cache traffic per row go to stderr.
 func runExtFleet(cfg RunConfig) (*Result, error) {
 	res := &Result{ID: "ext-fleet", Title: "Fleet-scale placement comparison under per-node ARQ"}
 	warm, dur := fleetHorizons(cfg)
@@ -79,6 +93,12 @@ func runExtFleet(cfg RunConfig) (*Result, error) {
 	// One solve cache for the whole sweep: mixes recur across fleets as
 	// well as within them, and sharing is bit-exact by construction.
 	solves := sim.NewSolveCache()
+	// One node-outcome cache for the whole sweep, same argument one level
+	// up: node contents recur across placements and fleet sizes.
+	var nodeCache *cluster.NodeCache
+	if !cfg.FleetNodeCacheOff {
+		nodeCache = cluster.NewNodeCache()
+	}
 
 	strategies := []struct {
 		label string
@@ -103,13 +123,27 @@ func runExtFleet(cfg RunConfig) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s at %d nodes: %w", s.label, nodes, err)
 			}
+			// A placement assigns a *set* of applications to each node;
+			// the order its internals appended them in is an artifact.
+			// Canonicalising intra-node order makes equal contents equal
+			// simulations, which the CRN seeds, the dedup classing and
+			// the sweep cache all key on.
+			placement = cluster.CanonicalizePlacement(placement)
+			seeds := make([]int64, len(placement))
+			for i := range placement {
+				seeds[i] = cluster.TemplateSeed(cfg.Seed, placement[i])
+			}
 			run, err := cluster.Run(cluster.Config{
-				Spec:         spec,
-				Seed:         cfg.Seed,
-				NewStrategy:  func(int) sched.Strategy { return arqFactory() },
-				Placement:    placement,
-				Parallel:     cfg.Parallel,
-				SharedSolves: solves,
+				Spec:                spec,
+				Seed:                cfg.Seed,
+				NewStrategy:         func(int) sched.Strategy { return arqFactory() },
+				Placement:           placement,
+				Parallel:            cfg.Parallel,
+				SharedSolves:        solves,
+				NodeSeed:            func(i int) int64 { return seeds[i] },
+				DedupIdenticalNodes: true,
+				NodeCache:           nodeCache,
+				StrategyDigest:      "arq:default",
 			}, opts)
 			if err != nil {
 				return nil, fmt.Errorf("%s at %d nodes: %w", s.label, nodes, err)
@@ -118,13 +152,16 @@ func runExtFleet(cfg RunConfig) (*Result, error) {
 				run.GlobalELC, run.GlobalEBE, run.GlobalES,
 				fmtPct(run.GlobalYield), fmt.Sprintf("%.2f%%", 100*run.ViolationRate()))
 			elapsed := time.Since(start).Round(time.Millisecond) //ahqlint:allow detflow wall-clock timing goes to stderr only; stdout stays deterministic
-			fmt.Fprintf(os.Stderr, "(ext-fleet %d nodes %s: %v, %d shared solve hits)\n",
-				nodes, s.label, elapsed, run.Stats.SharedSolveHits)
+			fmt.Fprintf(os.Stderr, "(ext-fleet %d nodes %s: %v, %d/%d nodes simulated, %d node-cache hits, %d shared solve hits)\n",
+				nodes, s.label, elapsed, run.Stats.NodesSimulated, run.Stats.NodesRun,
+				run.Stats.NodeCacheHits, run.Stats.SharedSolveHits)
 		}
 	}
 	tab.Notes = append(tab.Notes,
 		"rows within a fleet size share one application population; only the placement differs",
-		"scored = interference-aware greedy (utilisation² + bandwidth² + LC/BE cross term); see DESIGN.md §10")
+		"common random numbers: node seeds derive from node contents, so equal contents are identical simulations across placements",
+		"scored = interference-aware greedy (utilisation² + bandwidth² + LC/BE cross term); see DESIGN.md §10",
+		"each unique node content simulates once per sweep (cluster.NodeCache, DESIGN.md §11); bit-exact, so the cache never moves a number")
 	res.Tables = append(res.Tables, tab)
 	return res, nil
 }

@@ -38,7 +38,7 @@ var DetFlow = &Analyzer{
 	Doc: "taint-propagate nondeterminism roots (time.Now, global math/rand, " +
 		"os.Getenv, printing inside map iteration) through the call graph " +
 		"into the deterministic packages",
-	AppliesTo: detFlowInScope,
+	AppliesTo:  detFlowInScope,
 	RunProgram: runDetFlow,
 }
 

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"ahq/internal/trace"
+	"ahq/internal/workload"
+)
+
+func keyedLC(name string, load float64) AppConfig {
+	app := workload.MustLC(name)
+	return AppConfig{LC: &app, Load: trace.Constant(load)}
+}
+
+func keyedBE(name string) AppConfig {
+	app := workload.MustBE(name)
+	return AppConfig{BE: &app}
+}
+
+// TestAppendAppKeyInjective spot-checks the property the node cache rests
+// on: configurations that would simulate differently serialise differently,
+// and equal configurations serialise identically.
+func TestAppendAppKeyInjective(t *testing.T) {
+	key := func(a AppConfig) (string, bool) {
+		b, ok := AppendAppKey(nil, a)
+		return string(b), ok
+	}
+	a1, ok1 := key(keyedLC("xapian", 0.5))
+	a2, ok2 := key(keyedLC("xapian", 0.5))
+	if !ok1 || !ok2 {
+		t.Fatal("catalog LC app must be key-serialisable")
+	}
+	if a1 != a2 {
+		t.Error("equal LC configs got different keys")
+	}
+	closed := keyedLC("xapian", 0.5)
+	closed.ClosedLoopUsers = 16
+	closed.ThinkTimeMs = 5
+	diurnal := keyedLC("xapian", 0.5)
+	diurnal.Load = trace.Diurnal{Lo: 0.2, Hi: 0.8, PeriodMs: 60_000}
+	distinct := []AppConfig{
+		keyedLC("xapian", 0.7),
+		keyedLC("moses", 0.5),
+		keyedBE("stream"),
+		closed,
+		diurnal,
+	}
+	seen := map[string]int{a1: -1}
+	for i, a := range distinct {
+		k, ok := key(a)
+		if !ok {
+			t.Fatalf("variant %d must be key-serialisable", i)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variants %d and %d share a key", prev, i)
+		}
+		seen[k] = i
+	}
+}
+
+// unkeyedLoad is a load profile outside trace's Keyed catalog.
+type unkeyedLoad struct{}
+
+func (unkeyedLoad) At(tMs float64) float64 { return 1 }
+
+// TestAppendAppKeyRefusesUnknownLoad pins the conservative fallback: an LC
+// app driven by a load profile the key encoding does not know is reported
+// uncacheable rather than silently colliding.
+func TestAppendAppKeyRefusesUnknownLoad(t *testing.T) {
+	app := workload.MustLC("xapian")
+	cfg := AppConfig{LC: &app, Load: unkeyedLoad{}}
+	if _, ok := AppendAppKey(nil, cfg); ok {
+		t.Error("unknown load profile was serialised")
+	}
+}
+
+// TestAppendTunablesKeyCoversEveryField perturbs each tunable in turn and
+// checks the key moves — a field added to Tunables without extending the
+// encoding would let two differently-tuned engines share node-cache
+// records.
+func TestAppendTunablesKeyCoversEveryField(t *testing.T) {
+	base := string(AppendTunablesKey(nil, DefaultTunables()))
+	perturb := []func(*Tunables){
+		func(tu *Tunables) { tu.SwitchOverhead += 0.01 },
+		func(tu *Tunables) { tu.PollutionOverhead += 0.01 },
+		func(tu *Tunables) { tu.WarmupMs += 0.01 },
+		func(tu *Tunables) { tu.WarmupMissBoost += 0.01 },
+		func(tu *Tunables) { tu.MinBWSatisfaction += 0.01 },
+		func(tu *Tunables) { tu.RefWays += 0.01 },
+		func(tu *Tunables) { tu.TimesliceMs += 0.01 },
+		func(tu *Tunables) { tu.DispatchDelayCapMs += 0.01 },
+		func(tu *Tunables) { tu.BatchDrag += 0.01 },
+	}
+	for i, f := range perturb {
+		tu := DefaultTunables()
+		f(&tu)
+		if string(AppendTunablesKey(nil, tu)) == base {
+			t.Errorf("perturbing tunable %d did not change the key", i)
+		}
+	}
+}

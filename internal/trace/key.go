@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"math"
+	"strconv"
+)
+
+// Keyed is implemented by Load profiles that can serialise themselves into
+// a canonical, bit-exact cache key. The fleet engine's node-outcome cache
+// (internal/cluster) keys a completed node simulation on every input the
+// simulation reads; the load profile is one of those inputs, and only the
+// profile itself knows its full state. Implementations must emit a leading
+// tag byte unique to their concrete type — the simulator's arrival
+// classification switches on the dynamic type, so two profiles with equal
+// At curves but different types are different simulations. Floats are
+// encoded by their IEEE-754 bit patterns: two profiles key equal exactly
+// when a simulation would compute on identical values.
+//
+// Profiles that do not implement Keyed are simply not key-serialisable;
+// callers treat nodes carrying them as uncacheable rather than guessing.
+type Keyed interface {
+	// AppendLoadKey appends the profile's canonical encoding to b.
+	AppendLoadKey(b []byte) []byte
+}
+
+// appendKeyBits encodes one float by its bit pattern (see Keyed).
+func appendKeyBits(b []byte, v float64) []byte {
+	b = strconv.AppendUint(b, math.Float64bits(v), 16)
+	return append(b, ',')
+}
+
+// AppendLoadKey implements Keyed: tag 'C' plus the constant's bits.
+func (c Constant) AppendLoadKey(b []byte) []byte {
+	b = append(b, 'C')
+	return appendKeyBits(b, float64(c))
+}
+
+// AppendLoadKey implements Keyed: tag 'S', the segment count, then each
+// segment's start and fraction in profile order (NewSteps sorts segments,
+// so equal profiles encode identically).
+func (s Steps) AppendLoadKey(b []byte) []byte {
+	b = append(b, 'S')
+	b = strconv.AppendInt(b, int64(len(s)), 10)
+	b = append(b, ':')
+	for _, st := range s {
+		b = appendKeyBits(b, st.StartMs)
+		b = appendKeyBits(b, st.Frac)
+	}
+	return b
+}
+
+// AppendLoadKey implements Keyed: tag 'D' plus the four profile parameters.
+func (d Diurnal) AppendLoadKey(b []byte) []byte {
+	b = append(b, 'D')
+	b = appendKeyBits(b, d.Lo)
+	b = appendKeyBits(b, d.Hi)
+	b = appendKeyBits(b, d.PeriodMs)
+	return appendKeyBits(b, d.PhaseMs)
+}

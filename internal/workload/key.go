@@ -1,0 +1,90 @@
+// Canonical cache-key serialisation of the workload models. The fleet
+// engine's node-outcome cache (internal/cluster) keys a completed node
+// simulation on a bit-exact encoding of every input the simulation reads;
+// the application models are the largest such input, and only this package
+// can see all of their state. Floats are encoded by their IEEE-754 bit
+// patterns — two models key equal exactly when a simulation would compute
+// on identical values — and strings are length-prefixed so adjacent fields
+// cannot alias across an encoding boundary.
+package workload
+
+import (
+	"math"
+	"strconv"
+)
+
+// appendKeyBits encodes one float by its bit pattern.
+func appendKeyBits(b []byte, v float64) []byte {
+	b = strconv.AppendUint(b, math.Float64bits(v), 16)
+	return append(b, ',')
+}
+
+// appendKeyInt encodes one integer.
+func appendKeyInt(b []byte, v int) []byte {
+	b = strconv.AppendInt(b, int64(v), 10)
+	return append(b, ',')
+}
+
+// appendKeyString encodes a string with a length prefix.
+func appendKeyString(b []byte, s string) []byte {
+	b = strconv.AppendInt(b, int64(len(s)), 10)
+	b = append(b, ':')
+	b = append(b, s...)
+	return append(b, ',')
+}
+
+// AppendKey appends the curve's canonical encoding to b.
+func (c CacheProfile) AppendKey(b []byte) []byte {
+	b = appendKeyBits(b, c.WorkingSetWays)
+	return appendKeyBits(b, c.MinMissRatio)
+}
+
+// AppendKey appends the sensitivity's canonical encoding to b.
+func (s Sensitivity) AppendKey(b []byte) []byte {
+	b = appendKeyBits(b, s.CacheSens)
+	b = appendKeyBits(b, s.MemSens)
+	return appendKeyBits(b, s.MemGBpsPerThread)
+}
+
+// AppendKey appends the term mix's canonical encoding to b. The derived
+// sampling tables (factors, cdf, guide) are pure functions of the three
+// public parameters when the mix was built by NewTermMix, so encoding the
+// parameters covers them; the table length is included as a tag so a mix
+// built by NewTermMix never keys equal to a hand-rolled literal whose
+// tables were left empty.
+func (m *TermMix) AppendKey(b []byte) []byte {
+	if m == nil {
+		return append(b, 'n', ',')
+	}
+	b = append(b, 't')
+	b = appendKeyInt(b, m.Terms)
+	b = appendKeyBits(b, m.Skew)
+	b = appendKeyBits(b, m.ColdFactor)
+	return appendKeyInt(b, len(m.factors))
+}
+
+// AppendKey appends the LC model's canonical encoding to b: every field
+// the simulator reads, including the name (it is replicated into samples
+// and region memberships, so renamed clones are distinct templates).
+func (a *LCApp) AppendKey(b []byte) []byte {
+	b = appendKeyString(b, a.Name)
+	b = appendKeyInt(b, a.Threads)
+	b = appendKeyBits(b, a.ServiceMeanMs)
+	b = appendKeyBits(b, a.ServiceSigma)
+	b = appendKeyBits(b, a.MaxLoadQPS)
+	b = appendKeyBits(b, a.QoSTargetMs)
+	b = appendKeyBits(b, a.IdealP95Ms)
+	b = appendKeyInt(b, a.ClientQueueCap)
+	b = a.Terms.AppendKey(b)
+	b = a.Cache.AppendKey(b)
+	return a.Sens.AppendKey(b)
+}
+
+// AppendKey appends the BE model's canonical encoding to b.
+func (a *BEApp) AppendKey(b []byte) []byte {
+	b = appendKeyString(b, a.Name)
+	b = appendKeyInt(b, a.Threads)
+	b = appendKeyBits(b, a.SoloIPC)
+	b = a.Cache.AppendKey(b)
+	return a.Sens.AppendKey(b)
+}
