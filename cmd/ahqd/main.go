@@ -66,6 +66,7 @@ func main() {
 
 		chaosPlan = flag.String("chaos-plan", "", "fault plan spec (kind@epoch[xN|+],... with kinds apply|drop|stale|nan|panic)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "generate a random fault plan from this seed (0 = no faults; -chaos-plan wins)")
+		fleetPlan = flag.String("fleet-plan", "", "fleet fault plan spec (crash|degrade|blackout@epoch[xN|+]) applied to this node as a one-node fleet")
 	)
 	flag.Parse()
 
@@ -77,13 +78,26 @@ func main() {
 		// Schedule the generated faults over the first minute of epochs.
 		plan = faults.Generate(*chaosSeed, 120)
 	}
+	fp, err := faults.ParseFleet(*fleetPlan)
+	if err != nil {
+		log.Fatalf("ahqd: %v", err)
+	}
+	// The daemon is a one-node fleet: resolving over n=1 pins every event
+	// to this node (and rejects selectors that name anything else).
+	fp, err = fp.Resolve(*seed, 1)
+	if err != nil {
+		log.Fatalf("ahqd: %v", err)
+	}
 
-	d, err := newDaemon(*strat, *mix, *seed, *epochMs, *ri, plan)
+	d, err := newDaemon(*strat, *mix, *seed, *epochMs, *ri, plan, fp)
 	if err != nil {
 		log.Fatalf("ahqd: %v", err)
 	}
 	if !plan.Empty() {
 		log.Printf("ahqd: chaos plan active: %s", plan)
+	}
+	if !fp.Empty() {
+		log.Printf("ahqd: fleet plan active: %s", fp)
 	}
 	go d.loop(*fast)
 
@@ -153,12 +167,23 @@ type daemon struct {
 	incidents int
 	degraded  int
 	history   []epochSummary
+
+	// Fleet-plan state: the daemon is a one-node fleet, so crash events
+	// freeze the node (down counts, no strategy turn) and blackout events
+	// drop its telemetry. Degrades are logged and ignored — the engine's
+	// capacity is fixed at construction.
+	fleetPlan  *faults.FleetPlan
+	appCount   int
+	wasDown    bool
+	failed     bool
+	downEpochs int
+	evictions  int
 }
 
 // newDaemon builds the controller stack; a non-empty fault plan wraps the
 // node, the host and the strategy with the injector so the daemon's
 // degradation paths can be exercised end to end.
-func newDaemon(stratName, mix string, seed int64, epochMs, ri float64, plan *faults.Plan) (*daemon, error) {
+func newDaemon(stratName, mix string, seed int64, epochMs, ri float64, plan *faults.Plan, fleet *faults.FleetPlan) (*daemon, error) {
 	apps, loads, err := parseMix(mix)
 	if err != nil {
 		return nil, err
@@ -172,13 +197,22 @@ func newDaemon(stratName, mix string, seed int64, epochMs, ri float64, plan *fau
 		return nil, err
 	}
 	d := &daemon{
-		engine:   engine,
-		node:     engine,
-		host:     rdt.NewSimHost(engine),
-		strategy: strategy,
-		sys:      entropy.System{RI: ri},
-		epochMs:  epochMs,
-		loads:    loads,
+		engine:    engine,
+		node:      engine,
+		host:      rdt.NewSimHost(engine),
+		strategy:  strategy,
+		sys:       entropy.System{RI: ri},
+		epochMs:   epochMs,
+		loads:     loads,
+		fleetPlan: fleet,
+		appCount:  len(apps),
+	}
+	if !fleet.Empty() {
+		for _, ev := range fleet.Events {
+			if ev.Kind == faults.NodeDegrade {
+				log.Printf("ahqd: fleet plan degrade %s ignored: a live node cannot shrink its machine spec", ev)
+			}
+		}
 	}
 	if !plan.Empty() {
 		inj := faults.NewInjector(plan)
@@ -302,11 +336,59 @@ func decideSafe(s sched.Strategy, t sched.Telemetry, cur machine.Allocation) (ne
 	return s.Decide(t, cur), ""
 }
 
+// blackoutAt reports whether the fleet plan blacks out this node's
+// telemetry at the given epoch.
+func (d *daemon) blackoutAt(epoch int) bool {
+	if d.fleetPlan.Empty() {
+		return false
+	}
+	for _, ev := range d.fleetPlan.Events {
+		if ev.Kind == faults.NodeBlackout && ev.ActiveAt(epoch) && ev.Hits(0) {
+			return true
+		}
+	}
+	return false
+}
+
 func (d *daemon) stepEpoch() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// A fleet-plan crash freezes the node: no simulated time, no telemetry,
+	// no strategy turn — only the down accounting the fleet engine keeps.
+	if d.fleetPlan.DownAt(0, d.epoch) {
+		if !d.wasDown {
+			log.Printf("ahqd: fleet plan crashed the node at epoch %d", d.epoch)
+			d.failed = true
+			d.wasDown = true
+			d.evictions += d.appCount
+		}
+		d.downEpochs++
+		d.degraded++
+		d.history = append(d.history, epochSummary{
+			Epoch:      d.epoch,
+			SimMs:      d.engine.NowMs(),
+			ELC:        -1,
+			EBE:        -1,
+			ES:         -1,
+			Allocation: d.engine.Allocation().String(),
+		})
+		if len(d.history) > historyLen {
+			d.history = d.history[len(d.history)-historyLen:]
+		}
+		d.epoch++
+		return
+	}
+	if d.wasDown {
+		log.Printf("ahqd: node restarted at epoch %d after %d down epochs", d.epoch, d.downEpochs)
+		d.wasDown = false
+	}
 	epochOK := true
 	windows := d.node.RunWindow(d.epochMs)
+	if d.blackoutAt(d.epoch) {
+		// Whole-node telemetry blackout: the node keeps running but the
+		// controller sees nothing this epoch.
+		windows = nil
+	}
 	tel := sched.Telemetry{TimeMs: d.node.NowMs(), Epoch: d.epoch, Apps: windows}
 	if len(windows) == 0 {
 		// Dropped telemetry: hold the previous observation rather than
@@ -401,6 +483,9 @@ func (d *daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		"mean_e_s":        mean,
 		"incidents":       d.incidents,
 		"degraded_epochs": d.degraded,
+		"failed_nodes":    boolToInt(d.failed),
+		"down_epochs":     d.downEpochs,
+		"evictions":       d.evictions,
 	})
 }
 
@@ -544,6 +629,14 @@ func (d *daemon) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	ld.Set(frac)
 	writeJSON(w, map[string]interface{}{"app": app, "frac": frac})
+}
+
+// boolToInt renders a flag as the 0/1 counter the fleet endpoints use.
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // sanitize maps NaN to -1 for JSON encoding.

@@ -99,7 +99,7 @@ func TestMakeStrategy(t *testing.T) {
 }
 
 func TestDaemonEndpoints(t *testing.T) {
-	d, err := newDaemon("arq", "xapian:0.3,moses:0.2+stream", 1, 500, 0.8, nil)
+	d, err := newDaemon("arq", "xapian:0.3,moses:0.2+stream", 1, 500, 0.8, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestDaemonEndpoints(t *testing.T) {
 }
 
 func TestMetricsEndpoint(t *testing.T) {
-	d, err := newDaemon("arq", "xapian:0.3+stream", 1, 500, 0.8, nil)
+	d, err := newDaemon("arq", "xapian:0.3+stream", 1, 500, 0.8, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestHistoryRingBuffer(t *testing.T) {
-	d, err := newDaemon("unmanaged", "xapian:0.2+stream", 1, 100, 0.8, nil)
+	d, err := newDaemon("unmanaged", "xapian:0.2+stream", 1, 100, 0.8, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestHistoryRingBuffer(t *testing.T) {
 }
 
 func TestDaemonLoadEndpoint(t *testing.T) {
-	d, err := newDaemon("unmanaged", "xapian:0.3+stream", 1, 500, 0.8, nil)
+	d, err := newDaemon("unmanaged", "xapian:0.3+stream", 1, 500, 0.8, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestDaemonSurvivesChaosPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := newDaemon("arq", "xapian:0.3,moses:0.2+stream", 1, 500, 0.8, plan)
+	d, err := newDaemon("arq", "xapian:0.3,moses:0.2+stream", 1, 500, 0.8, plan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,5 +296,67 @@ func TestDaemonSurvivesChaosPlan(t *testing.T) {
 	}
 	if status["incidents"].(float64) == 0 {
 		t.Error("status endpoint does not report incidents")
+	}
+}
+
+func TestDaemonFleetPlan(t *testing.T) {
+	fp, err := faults.ParseFleet("crash@2x3,blackout@7x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err = fp.Resolve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := newDaemon("arq", "xapian:0.3,moses:0.2+stream", 1, 500, 0.8, nil, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simAt4 := 0.0
+	for i := 0; i < 10; i++ {
+		if i == 4 {
+			simAt4 = d.engine.NowMs()
+		}
+		d.stepEpoch()
+	}
+	// Epochs 2-4 are down: no simulated time advances, three down epochs,
+	// one crash with every app orphaned.
+	if d.downEpochs != 3 || !d.failed {
+		t.Errorf("downEpochs = %d failed = %v, want 3/true", d.downEpochs, d.failed)
+	}
+	if d.evictions != 3 {
+		t.Errorf("evictions = %d, want 3 (whole mix at one crash)", d.evictions)
+	}
+	if simAt4 != 2*500 {
+		t.Errorf("sim time at epoch 4 = %g ms, want 1000 (frozen during the crash)", simAt4)
+	}
+	// Epochs 7-8 are blacked out: telemetry drops count as incidents but
+	// not as down epochs.
+	if d.incidents < 2 {
+		t.Errorf("incidents = %d, want >= 2 from the blackout", d.incidents)
+	}
+	if d.epoch != 10 {
+		t.Errorf("epoch = %d, want 10 (crash must not stall the clock)", d.epoch)
+	}
+	rec := httptest.NewRecorder()
+	d.handleStatus(rec, httptest.NewRequest(http.MethodGet, "/v1/status", nil))
+	var status map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]float64{"failed_nodes": 1, "down_epochs": 3, "evictions": 3} {
+		if got := status[key].(float64); got != want {
+			t.Errorf("status %s = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestDaemonFleetPlanRejectsOtherNodes(t *testing.T) {
+	fp, err := faults.ParseFleet("crash@2/node=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fp.Resolve(1, 1); err == nil {
+		t.Error("fleet plan naming node 3 resolved against a one-node fleet")
 	}
 }

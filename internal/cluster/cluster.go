@@ -22,10 +22,12 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"ahq/internal/core"
 	"ahq/internal/entropy"
+	"ahq/internal/faults"
 	"ahq/internal/machine"
 	workpool "ahq/internal/pool"
 	"ahq/internal/sched"
@@ -101,6 +103,23 @@ type Config struct {
 	// Off by default: at fleet scale the per-node results dominate memory,
 	// and the compact NodeSummary carries everything aggregation needs.
 	KeepResults bool
+	// FleetPlan optionally schedules fleet-scope faults — node crashes,
+	// capacity degradations, telemetry blackouts (faults.FleetPlan). A
+	// non-empty plan switches Run to the phased chaos engine (chaos.go):
+	// the supervisor cuts the horizon at every configuration change, each
+	// phase simulates fresh, and aggregation weighs samples by measured
+	// epochs with dead windows accounted explicitly. Unresolved plans are
+	// resolved against (Seed, len(Placement)). Incompatible with NodeSeed
+	// (chaos seeds content-wise via TemplateSeed) and KeepResults (phases
+	// do not produce one core.Result per node).
+	FleetPlan *faults.FleetPlan
+	// ReplaceEvicted turns on failure-aware re-placement under a
+	// FleetPlan: a crashed node's applications are evicted and re-placed
+	// onto surviving nodes through the interference scorer, with capped
+	// retries, exponential backoff and a churn bound (supervisor.go).
+	// Off, a crashed node's applications stay assigned and dead until the
+	// node restarts.
+	ReplaceEvicted bool
 }
 
 // NodeResult pairs one node's full controller outcome with its index
@@ -124,15 +143,31 @@ type NodeSummary struct {
 	LCApps, BEApps int
 	// ViolationEpochs sums LC violation epochs over the node's apps.
 	ViolationEpochs int
-	// Epochs counts the node's measured monitoring intervals.
+	// Epochs counts the node's measured monitoring intervals (simulated
+	// alive epochs only; dead windows are accounted via ViolationEpochs
+	// and the fleet's LCAppEpochs, never as measured intervals).
 	Epochs int
 	// Incidents counts degradation events the node's controller survived.
 	Incidents int
+	// Failed marks a node that did not run healthy to completion: its
+	// simulation errored (the fleet engine absorbs the error into
+	// saturated dead-window samples instead of aborting the run), or a
+	// FleetPlan crashed it at some epoch.
+	Failed bool
+	// DownEpochs counts epochs (warm-up included) the node was dead: the
+	// whole horizon for an errored node, the crash coverage under a
+	// FleetPlan.
+	DownEpochs int
+	// Evictions counts applications the supervisor evicted from this node
+	// at its crash epochs (ReplaceEvicted only).
+	Evictions int
 }
 
-// FleetStats aggregates solve-cache instrumentation over the fleet. The
-// counters depend on worker scheduling (which engine reached a vector
-// first), so they are for benchmarks and logs, never deterministic output.
+// FleetStats aggregates fleet-wide counters. The solve/cache counters
+// depend on worker scheduling (which engine reached a vector first), so
+// they are for benchmarks and logs, never deterministic output. The
+// incident counters (FailedNodes, DownEpochs, Evictions) are derived from
+// the per-node summaries and ARE deterministic.
 type FleetStats struct {
 	// NodesRun counts the fleet's logical nodes.
 	NodesRun int
@@ -146,6 +181,9 @@ type FleetStats struct {
 	// NodeCacheHits counts node classes whose simulation was replayed
 	// from Config.NodeCache instead of being run.
 	NodeCacheHits uint64
+	// FailedNodes counts nodes with NodeSummary.Failed set; DownEpochs and
+	// Evictions sum the corresponding per-node counters. Deterministic.
+	FailedNodes, DownEpochs, Evictions int
 }
 
 // Result aggregates a cluster run.
@@ -169,16 +207,30 @@ type Result struct {
 	TotalViolationEpochs int
 	// MeasuredEpochs sums the per-node measured monitoring intervals.
 	MeasuredEpochs int
+	// LCAppEpochs is the explicit LC-application-epoch denominator the
+	// chaos engine maintains: alive LC app-epochs plus dead LC app-epochs
+	// (which all count as violations). Zero outside chaos runs — the
+	// legacy path derives the denominator from the summaries.
+	LCAppEpochs int
+	// Evictions/Replacements/Abandoned count the supervisor's actions
+	// under a FleetPlan with ReplaceEvicted; MeanRecoveryEpochs averages
+	// eviction-to-re-placement latency over successful re-placements.
+	Evictions, Replacements, Abandoned int
+	MeanRecoveryEpochs                 float64
 	// Stats carries fleet-wide solve-cache instrumentation.
 	Stats FleetStats
 }
 
 // ViolationRate is the fleet's LC violation fraction: violation epochs per
 // measured LC-application-epoch. Zero when the fleet has no LC epochs.
+// Chaos runs carry the denominator explicitly (dead LC app-epochs count on
+// both sides); otherwise it derives from the per-node summaries.
 func (r *Result) ViolationRate() float64 {
-	lcEpochs := 0
-	for i := range r.Summaries {
-		lcEpochs += r.Summaries[i].Epochs * r.Summaries[i].LCApps
+	lcEpochs := r.LCAppEpochs
+	if lcEpochs == 0 {
+		for i := range r.Summaries {
+			lcEpochs += r.Summaries[i].Epochs * r.Summaries[i].LCApps
+		}
 	}
 	if lcEpochs == 0 {
 		return 0
@@ -323,6 +375,8 @@ func shardsFor(nodes, workers int) int {
 }
 
 // Run drives every node of the fleet for the same horizon and aggregates.
+// With a non-empty Config.FleetPlan the run goes through the phased chaos
+// engine (chaos.go) instead of the single-segment path below.
 func Run(cfg Config, opts core.Options) (*Result, error) {
 	if len(cfg.Placement) == 0 {
 		return nil, fmt.Errorf("cluster: empty placement")
@@ -343,6 +397,14 @@ func Run(cfg Config, opts core.Options) (*Result, error) {
 			return nil, fmt.Errorf("cluster: NodeCache cannot be combined with KeepResults (cached records do not retain full per-node results)")
 		}
 	}
+	if !cfg.FleetPlan.Empty() {
+		if cfg.NodeSeed != nil {
+			return nil, fmt.Errorf("cluster: FleetPlan cannot be combined with NodeSeed (chaos phases seed content-wise via TemplateSeed)")
+		}
+		if cfg.KeepResults {
+			return nil, fmt.Errorf("cluster: FleetPlan cannot be combined with KeepResults (phases do not produce one core.Result per node)")
+		}
+	}
 	ri := cfg.RI
 	if ri == 0 {
 		ri = entropy.DefaultRI
@@ -353,8 +415,10 @@ func Run(cfg Config, opts core.Options) (*Result, error) {
 	} else if solves == nil {
 		solves = sim.NewSolveCache()
 	}
+	if !cfg.FleetPlan.Empty() {
+		return runChaos(cfg, opts, ri, solves)
+	}
 
-	ex := workpool.New(cfg.Parallel)
 	n := len(cfg.Placement)
 	classes := nodeClasses(&cfg)
 	classOf := make([]int, n)
@@ -367,28 +431,23 @@ func Run(cfg Config, opts core.Options) (*Result, error) {
 	if cfg.NodeCache != nil {
 		keyPrefix = nodeKeyPrefix(&cfg, opts, ri)
 	}
-	stats := &statsCollector{}
-	shards := shardsFor(len(classes), ex.Workers())
-	futs := make([]*workpool.Future[*shardAccum], 0, shards)
-	for s := 0; s < shards; s++ {
-		// Contiguous ranges, remainder spread over the leading shards.
-		lo := s * len(classes) / shards
-		hi := (s + 1) * len(classes) / shards
-		futs = append(futs, workpool.Submit(ex, func() (*shardAccum, error) {
-			return runShard(cfg, opts, keyPrefix, classes[lo:hi], solves, stats)
-		}))
+	units := make([]shardUnit, len(classes))
+	for ci, c := range classes {
+		units[ci] = shardUnit{unit: simUnit{
+			node: c.rep, apps: cfg.Placement[c.rep],
+			spec: cfg.Spec, seed: c.seed, opts: opts,
+		}}
+		if cfg.NodeCache != nil && c.template != "" {
+			units[ci].key = nodeKey(keyPrefix, c.seed, c.template)
+		}
+	}
+	outs, stats, err := runUnits(&cfg, units, solves)
+	if err != nil {
+		return nil, err
 	}
 
-	// Collect class records in class order, then expand to nodes in node
-	// order — the merge is invariant to shard count and scheduling.
-	outs := make([]classOut, 0, len(classes))
-	for _, f := range futs {
-		acc, err := f.Wait()
-		if err != nil {
-			return nil, err
-		}
-		outs = append(outs, acc.outs...)
-	}
+	// Expand class records to nodes in node order — the merge is invariant
+	// to shard count and scheduling.
 	res := &Result{Summaries: make([]NodeSummary, 0, n)}
 	var lcAll []entropy.LCSample
 	var beAll []entropy.BESample
@@ -421,9 +480,62 @@ func Run(cfg Config, opts core.Options) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("cluster: global yield: %w", err)
 	}
-	res.Stats = stats.snapshot()
+	res.Stats = stats
 	res.Stats.NodesRun = n
+	addIncidentCounters(res)
 	return res, nil
+}
+
+// addIncidentCounters derives the deterministic fleet incident counters
+// from the merged per-node summaries.
+func addIncidentCounters(res *Result) {
+	for i := range res.Summaries {
+		s := &res.Summaries[i]
+		if s.Failed {
+			res.Stats.FailedNodes++
+		}
+		res.Stats.DownEpochs += s.DownEpochs
+		res.Stats.Evictions += s.Evictions
+	}
+}
+
+// runUnits fans the unit list out over the worker pool in contiguous
+// shards and returns the unit records in unit order. A failing shard no
+// longer strands its siblings: every future is drained before the first
+// error is returned, so no goroutine is left writing the collector after
+// Run has handed control back to the caller.
+func runUnits(cfg *Config, units []shardUnit, solves *sim.SolveCache) ([]classOut, FleetStats, error) {
+	ex := workpool.New(cfg.Parallel)
+	stats := &statsCollector{}
+	shards := shardsFor(len(units), ex.Workers())
+	futs := make([]*workpool.Future[*shardAccum], 0, shards)
+	for s := 0; s < shards; s++ {
+		// Contiguous ranges, remainder spread over the leading shards.
+		lo := s * len(units) / shards
+		hi := (s + 1) * len(units) / shards
+		shard := s
+		futs = append(futs, workpool.Submit(ex, func() (*shardAccum, error) {
+			return runShard(*cfg, shard, units[lo:hi], solves, stats)
+		}))
+	}
+	outs := make([]classOut, 0, len(units))
+	var firstErr error
+	for _, f := range futs {
+		acc, err := f.Wait()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if firstErr == nil {
+			outs = append(outs, acc.outs...)
+		}
+	}
+	if firstErr != nil {
+		return nil, FleetStats{}, firstErr
+	}
+	return outs, stats.snapshot(), nil
 }
 
 // uniquify disambiguates duplicate workload names on one node with an
@@ -461,55 +573,89 @@ func uniquify(apps []sim.AppConfig) []sim.AppConfig {
 	return out
 }
 
-// runShard drives a contiguous range of node classes, streaming each
-// class's record into the shard accumulator. With a NodeCache configured
-// each class first resolves its content-addressed key: a published entry
+// simUnit is one node simulation the engine must run: the node (for error
+// labels and the strategy factory), its applications, capacity, seed,
+// controller options, and an optional node-local telemetry-blackout plan.
+// The legacy path builds one unit per node class over the run's shared
+// spec and options; the chaos engine builds one per (phase, node).
+type simUnit struct {
+	node     int
+	apps     []sim.AppConfig
+	spec     machine.Spec
+	seed     int64
+	opts     core.Options
+	blackout *faults.Plan
+}
+
+// shardUnit pairs a unit with its content-addressed NodeCache key; an
+// empty key means uncached (no cache configured, or the template is not
+// key-serialisable).
+type shardUnit struct {
+	key  string
+	unit simUnit
+}
+
+// shardFailHook, when non-nil, injects a shard-level failure before the
+// shard simulates anything. Set only by tests, to exercise runUnits'
+// future-drain path — production shards have no error source of their own
+// left (unit failures are absorbed into dead records).
+var shardFailHook func(shard int) error
+
+// runShard drives a contiguous range of units, streaming each unit's
+// record into the shard accumulator. With a NodeCache configured each
+// keyed unit first resolves its content-addressed key: a published entry
 // replays the identical simulation's record, an in-flight entry is waited
 // on (a racing shard — possibly of another Run sharing the cache — is
-// computing this exact class right now), and otherwise the shard simulates
-// the representative itself, publishing the outcome when it claimed the
-// key. Full per-node results are dropped unless the configuration keeps
-// them.
-func runShard(cfg Config, opts core.Options, keyPrefix []byte, classes []nodeClass, solves *sim.SolveCache, stats *statsCollector) (*shardAccum, error) {
-	acc := &shardAccum{outs: make([]classOut, 0, len(classes))}
+// computing this exact unit right now), and otherwise the shard simulates
+// the unit itself, publishing the outcome when it claimed the key. A unit
+// whose simulation errors no longer kills the fleet: the error is
+// published (and its cache entry dropped, so the key can be re-simulated),
+// then absorbed into a Failed record carrying saturated dead-window
+// samples, and the run continues. Full per-node results are dropped unless
+// the configuration keeps them.
+func runShard(cfg Config, shard int, units []shardUnit, solves *sim.SolveCache, stats *statsCollector) (*shardAccum, error) {
+	if shardFailHook != nil {
+		if err := shardFailHook(shard); err != nil {
+			return nil, err
+		}
+	}
+	acc := &shardAccum{outs: make([]classOut, 0, len(units))}
 	var hits, solvesN, shared, nodeHits uint64
 	simulated := 0
-	for _, c := range classes {
-		key := ""
-		if cfg.NodeCache != nil && c.template != "" {
-			key = nodeKey(keyPrefix, c.seed, c.template)
-			if e, ok := cfg.NodeCache.lookup(key); ok {
-				co, err := e.wait()
-				if err != nil {
-					return nil, fmt.Errorf("cluster: node %d: %w", c.rep, err)
-				}
-				acc.outs = append(acc.outs, co)
-				nodeHits++
-				continue
-			}
-		}
+	for _, su := range units {
 		var entry *nodeCacheEntry
-		if key != "" {
-			var claimed bool
-			if entry, claimed = cfg.NodeCache.claim(key); entry != nil && !claimed {
-				// Lost the claim race: adopt the racer's record.
-				co, err := entry.wait()
-				if err != nil {
-					return nil, fmt.Errorf("cluster: node %d: %w", c.rep, err)
+		if su.key != "" {
+			if e, ok := cfg.NodeCache.lookup(su.key); ok {
+				if co, err := e.wait(); err == nil {
+					acc.outs = append(acc.outs, co)
+					nodeHits++
+					continue
 				}
-				acc.outs = append(acc.outs, co)
-				nodeHits++
-				continue
+				// The claimant's simulation failed and its entry was
+				// dropped; fall through and re-simulate locally.
 			}
-			// claimed, or the shard was full (entry == nil): simulate;
-			// publish only when claimed.
+			if e, claimed := cfg.NodeCache.claim(su.key); claimed {
+				entry = e
+			} else if e != nil {
+				// Lost the claim race: adopt the racer's record, unless
+				// the racer failed — then simulate unpublished.
+				if co, err := e.wait(); err == nil {
+					acc.outs = append(acc.outs, co)
+					nodeHits++
+					continue
+				}
+			}
+			// entry == nil here means the shard was full or a racer
+			// failed: simulate without publishing.
 		}
-		co, cs, err := simulateClass(&cfg, opts, c, solves)
+		co, cs, err := simulateUnit(&cfg, su.unit, solves)
 		if entry != nil {
-			entry.complete(co, err)
+			cfg.NodeCache.publish(su.key, entry, co, err)
 		}
 		if err != nil {
-			return nil, err
+			// Absorb the failure: the node is recorded dead for the whole
+			// unit horizon instead of aborting every sibling simulation.
+			co = deadUnitOut(su.unit)
 		}
 		acc.outs = append(acc.outs, co)
 		simulated++
@@ -521,25 +667,29 @@ func runShard(cfg Config, opts core.Options, keyPrefix []byte, classes []nodeCla
 	return acc, nil
 }
 
-// classSolveStats carries one simulated class's engine solve counters.
+// classSolveStats carries one simulated unit's engine solve counters.
 type classSolveStats struct {
 	memoHits, solves, sharedHits uint64
 }
 
-// simulateClass runs one node class's representative simulation end to end
-// and condenses it into the class record.
-func simulateClass(cfg *Config, opts core.Options, c nodeClass, solves *sim.SolveCache) (classOut, classSolveStats, error) {
-	i := c.rep
+// simulateUnit runs one unit's simulation end to end and condenses it into
+// its record. A blackout plan wraps the engine with the PR 4 drop injector
+// so every application's telemetry vanishes over the planned epochs.
+func simulateUnit(cfg *Config, u simUnit, solves *sim.SolveCache) (classOut, classSolveStats, error) {
 	engine, err := sim.New(sim.Config{
-		Spec: cfg.Spec, Seed: c.seed,
-		Apps: uniquify(cfg.Placement[i]), SharedSolves: solves,
+		Spec: u.spec, Seed: u.seed,
+		Apps: uniquify(u.apps), SharedSolves: solves,
 	})
 	if err != nil {
-		return classOut{}, classSolveStats{}, fmt.Errorf("cluster: node %d: %w", i, err)
+		return classOut{}, classSolveStats{}, fmt.Errorf("cluster: node %d: %w", u.node, err)
 	}
-	nodeRes, err := core.Run(engine, cfg.NewStrategy(i), opts)
+	var drive core.Engine = engine
+	if !u.blackout.Empty() {
+		drive = faults.NewInjector(u.blackout).Engine(engine)
+	}
+	nodeRes, err := core.Run(drive, cfg.NewStrategy(u.node), u.opts)
 	if err != nil {
-		return classOut{}, classSolveStats{}, fmt.Errorf("cluster: node %d: %w", i, err)
+		return classOut{}, classSolveStats{}, fmt.Errorf("cluster: node %d: %w", u.node, err)
 	}
 	co := classOut{sum: NodeSummary{
 		ELC: nodeRes.RunELC, EBE: nodeRes.RunEBE, ES: nodeRes.RunES,
@@ -567,4 +717,55 @@ func simulateClass(cfg *Config, opts core.Options, c nodeClass, solves *sim.Solv
 	var cs classSolveStats
 	cs.memoHits, cs.solves, cs.sharedHits = engine.SolveStats()
 	return co, cs, nil
+}
+
+// deadUnitOut condenses a unit that could not run into a Failed record
+// with saturated dead-window samples, mirroring the clamps of
+// core.SamplesFromWindows (a dead LC application pins its latency at
+// 1000x its target, a dead BE application retains a sliver of its solo
+// IPC), so fleet aggregation accounts the dead windows explicitly instead
+// of silently shrinking the sample set. Every measured epoch of a dead LC
+// application counts as a violation.
+func deadUnitOut(u simUnit) classOut {
+	o := u.opts.WithDefaults()
+	total := int(math.Ceil((o.WarmupMs + o.DurationMs) / o.EpochMs))
+	measured := total - int(math.Ceil(o.WarmupMs/o.EpochMs))
+	co := classOut{sum: NodeSummary{
+		Failed: true, DownEpochs: total, Epochs: measured,
+	}}
+	for _, a := range uniquify(u.apps) {
+		if a.LC != nil {
+			co.sum.LCApps++
+			co.lc = append(co.lc, deadLCSample(a))
+		} else if a.BE != nil {
+			co.sum.BEApps++
+			co.be = append(co.be, deadBESample(a))
+		}
+	}
+	co.sum.ViolationEpochs = measured * co.sum.LCApps
+	if elc, ebe, es, err := (entropy.System{RI: o.RI}).Compute(co.lc, co.be); err == nil {
+		co.sum.ELC, co.sum.EBE, co.sum.ES = elc, ebe, es
+	} else {
+		co.sum.ELC, co.sum.EBE, co.sum.ES = math.NaN(), math.NaN(), math.NaN()
+	}
+	return co
+}
+
+// deadLCSample is the saturated entropy sample of an LC application whose
+// node is dead: latency clamped at 1000x its target (the starvation clamp
+// of core.SamplesFromWindows), so it maximally violates.
+func deadLCSample(a sim.AppConfig) entropy.LCSample {
+	return entropy.LCSample{
+		Name: a.LC.Name, IdealMs: a.LC.IdealP95Ms,
+		MeasuredMs: a.LC.QoSTargetMs * 1e3, TargetMs: a.LC.QoSTargetMs,
+	}
+}
+
+// deadBESample is the saturated entropy sample of a BE application whose
+// node is dead: a sliver of its solo IPC (the zero-IPC clamp of
+// core.SamplesFromWindows), so E_BE saturates instead of erroring.
+func deadBESample(a sim.AppConfig) entropy.BESample {
+	return entropy.BESample{
+		Name: a.BE.Name, SoloIPC: a.BE.SoloIPC, MeasuredIPC: a.BE.SoloIPC * 1e-3,
+	}
 }

@@ -179,12 +179,31 @@ func (c *NodeCache) claim(key string) (e *nodeCacheEntry, claimed bool) {
 }
 
 // complete publishes a claimed entry's simulation outcome and wakes every
-// waiter. Errors are published too: a node that fails to simulate fails
-// identically for every placement that contains it, so waiters propagate
-// the claimant's error instead of re-running a deterministic failure.
+// waiter.
 func (e *nodeCacheEntry) complete(out classOut, err error) {
 	e.out, e.err = out, err
 	close(e.done)
+}
+
+// publish completes a claimed entry and, when the simulation errored,
+// drops the entry from its shard after the waiters are released. Errors
+// must not be cached: a permanently published error would poison the
+// content-address for the whole sweep, replaying the failure as a hit on
+// every later lookup, when the right behaviour is to let the class be
+// re-simulated (the engine absorbs the failure into a dead record either
+// way, but a transient claimant bug must not become a sweep-wide fact).
+// The identity check keeps a racing re-claimant's fresh entry intact.
+func (c *NodeCache) publish(key string, e *nodeCacheEntry, out classOut, err error) {
+	e.complete(out, err)
+	if err == nil {
+		return
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if s.entries[key] == e {
+		delete(s.entries, key)
+	}
+	s.mu.Unlock()
 }
 
 // wait blocks until the entry is published and returns its outcome.

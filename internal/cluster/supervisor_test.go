@@ -1,0 +1,188 @@
+package cluster
+
+// Supervisor conformance: across every phase of a chaos schedule the
+// multiset of applications must be conserved (assigned + dead == the
+// initial population), surviving nodes must never be emptied, and the
+// re-placement bounds (retries, backoff, abandonment) must engage when no
+// node will accept an orphan.
+
+import (
+	"testing"
+
+	"ahq/internal/faults"
+	"ahq/internal/machine"
+	"ahq/internal/sim"
+)
+
+// resolvedPlan parses and resolves a fleet plan for n nodes, failing the
+// test on any error.
+func resolvedPlan(t *testing.T, spec string, seed int64, n int) *faults.FleetPlan {
+	t.Helper()
+	p, err := faults.ParseFleet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Resolve(seed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// phaseAppCount tallies a phase's full application multiset: everything
+// assigned to a live node plus everything dead. Down-node assignments are
+// skipped — in no-replace mode they are exactly the phase's dead list (the
+// apps stay assigned and resume on restart), so counting both would
+// double-count them.
+func phaseAppCount(ph *fleetPhase) map[string]int {
+	got := map[string]int{}
+	for nd, apps := range ph.assign {
+		if ph.down[nd] {
+			continue
+		}
+		for _, a := range apps {
+			got[appKey(a)]++
+		}
+	}
+	for _, d := range ph.dead {
+		got[appKey(d.app)]++
+	}
+	delete(got, "empty")
+	return got
+}
+
+func TestSupervisorConservation(t *testing.T) {
+	const nodes, total = 6, 14
+	placement, err := RoundRobin(conformanceApps(18), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := countApps(placement)
+	for _, replace := range []bool{false, true} {
+		plan := resolvedPlan(t, "crash@5x4/nodes=2,degrade@7+/nodes=1", 42, nodes)
+		sched := supervise(plan, placement, machine.DefaultSpec(), replace, total)
+		if len(sched.phases) < 2 {
+			t.Fatalf("replace=%v: got %d phases, want a cut at least at the crash", replace, len(sched.phases))
+		}
+		prevEnd := 0
+		for pi := range sched.phases {
+			ph := &sched.phases[pi]
+			if ph.start != prevEnd || ph.end <= ph.start {
+				t.Fatalf("replace=%v: phase %d spans [%d,%d), previous ended at %d",
+					replace, pi, ph.start, ph.end, prevEnd)
+			}
+			prevEnd = ph.end
+			if got := phaseAppCount(ph); !equalCounts(got, want) {
+				t.Errorf("replace=%v: phase %d [%d,%d) app multiset %v, want %v",
+					replace, pi, ph.start, ph.end, got, want)
+			}
+			for nd := 0; nd < nodes; nd++ {
+				if !sched.crashed[nd] && len(ph.assign[nd]) == 0 {
+					t.Errorf("replace=%v: phase %d emptied surviving node %d", replace, pi, nd)
+				}
+				if replace && ph.down[nd] && len(ph.assign[nd]) != 0 {
+					t.Errorf("replace=%v: phase %d keeps %d apps on down node %d",
+						replace, pi, len(ph.assign[nd]), nd)
+				}
+			}
+		}
+		if prevEnd != total {
+			t.Errorf("replace=%v: schedule ends at %d, want %d", replace, prevEnd, total)
+		}
+		if replace {
+			if sched.evictions == 0 {
+				t.Error("replace schedule evicted nothing despite two crashes")
+			}
+			if sched.replacements+sched.abandoned > sched.evictions {
+				t.Errorf("placed %d + abandoned %d exceeds evicted %d",
+					sched.replacements, sched.abandoned, sched.evictions)
+			}
+		} else if sched.evictions != 0 || sched.replacements != 0 {
+			t.Errorf("no-replace schedule moved apps: %d evictions, %d replacements",
+				sched.evictions, sched.replacements)
+		}
+	}
+}
+
+func equalCounts(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSupervisorAbandonsWhenNoCandidates: crash the whole fleet
+// persistently — every orphan exhausts its retries against an empty
+// candidate set and is abandoned, staying dead to the end of the run.
+func TestSupervisorAbandonsWhenNoCandidates(t *testing.T) {
+	const nodes, total = 3, 14
+	placement, err := RoundRobin(conformanceApps(6), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := resolvedPlan(t, "crash@2+/nodes=3", 1, nodes)
+	sched := supervise(plan, placement, machine.DefaultSpec(), true, total)
+	if sched.evictions != 6 {
+		t.Fatalf("evictions = %d, want all 6 apps", sched.evictions)
+	}
+	if sched.replacements != 0 {
+		t.Errorf("replacements = %d with no surviving node", sched.replacements)
+	}
+	if sched.abandoned != 6 {
+		t.Errorf("abandoned = %d, want all 6 orphans after %d attempts",
+			sched.abandoned, maxReplaceAttempts)
+	}
+	last := &sched.phases[len(sched.phases)-1]
+	if len(last.dead) != 6 {
+		t.Errorf("final phase lists %d dead apps, want 6", len(last.dead))
+	}
+	for _, d := range last.dead {
+		if d.node < 0 || d.node >= nodes {
+			t.Errorf("dead app attributed to node %d outside the fleet", d.node)
+		}
+	}
+}
+
+// TestSupervisorRecoveryLatency: a single crash with healthy neighbours
+// re-places every orphan on the first retry epoch.
+func TestSupervisorRecoveryLatency(t *testing.T) {
+	const nodes, total = 4, 14
+	placement, err := RoundRobin(conformanceApps(8), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := resolvedPlan(t, "crash@5+/node=1", 1, nodes)
+	sched := supervise(plan, placement, machine.DefaultSpec(), true, total)
+	if sched.evictions != len(placement[1]) {
+		t.Fatalf("evictions = %d, want %d (node 1's apps)", sched.evictions, len(placement[1]))
+	}
+	if sched.replacements != sched.evictions || sched.abandoned != 0 {
+		t.Fatalf("replacements=%d abandoned=%d, want %d/0",
+			sched.replacements, sched.abandoned, sched.evictions)
+	}
+	// Orphans become eligible the epoch after the crash; with capacity to
+	// spare they all land there: recovery latency exactly 1 epoch each.
+	if sched.recoverySum != sched.replacements {
+		t.Errorf("recoverySum = %d over %d replacements, want 1 epoch each",
+			sched.recoverySum, sched.replacements)
+	}
+	// The re-placed apps live somewhere from epoch 6 on: final phase has
+	// no dead apps and conserves the population.
+	last := &sched.phases[len(sched.phases)-1]
+	if len(last.dead) != 0 {
+		t.Errorf("final phase still lists %d dead apps", len(last.dead))
+	}
+	want := countApps(placement)
+	if got := phaseAppCount(last); !equalCounts(got, want) {
+		t.Errorf("final phase multiset %v, want %v", got, want)
+	}
+	var onDead []sim.AppConfig
+	if onDead = last.assign[1]; len(onDead) != 0 {
+		t.Errorf("crashed node 1 still holds %d apps in the final phase", len(onDead))
+	}
+}

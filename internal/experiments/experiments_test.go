@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "table2", "fig2", "fig3a", "fig3b", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "headline",
-		"ablation-interval", "ablation-arq", "ablation-ri", "ablation-tunables", "ext-weighted", "ext-heracles", "ext-cluster", "ext-bignode", "ext-fleet", "fig4",
+		"ablation-interval", "ablation-arq", "ablation-ri", "ablation-tunables", "ext-weighted", "ext-heracles", "ext-cluster", "ext-bignode", "ext-fleet", "ext-fleetchaos", "fig4",
 		"chaos",
 	}
 	for _, id := range want {

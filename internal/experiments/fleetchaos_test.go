@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFleetChaosReplaceBeatsNoReplace pins the experiment's headline
+// claim at quick scale: at every nonzero crash fraction, failure-aware
+// re-placement yields strictly lower fleet E_S than leaving the victims'
+// applications dead.
+func TestFleetChaosReplaceBeatsNoReplace(t *testing.T) {
+	cells, err := fleetChaosSweep(RunConfig{Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCell := map[[2]string]*fleetChaosCell{}
+	for i := range cells {
+		c := &cells[i]
+		byCell[[2]string{c.label, c.mode}] = c
+	}
+	for _, frac := range []string{"1%", "5%", "10%"} {
+		none, replace := byCell[[2]string{frac, "none"}], byCell[[2]string{frac, "replace"}]
+		if none == nil || replace == nil {
+			t.Fatalf("sweep missing cells for crash fraction %s", frac)
+		}
+		if !(replace.run.GlobalES < none.run.GlobalES) {
+			t.Errorf("%s crash: replace E_S %g not below no-replace %g",
+				frac, replace.run.GlobalES, none.run.GlobalES)
+		}
+		if replace.run.Replacements == 0 {
+			t.Errorf("%s crash: replace mode performed no re-placements", frac)
+		}
+		if none.run.Evictions != 0 {
+			t.Errorf("%s crash: no-replace mode evicted %d apps", frac, none.run.Evictions)
+		}
+	}
+	base := byCell[[2]string{"0%", "-"}]
+	if base == nil || base.run.Stats.FailedNodes != 0 {
+		t.Fatal("fault-free baseline missing or reporting failed nodes")
+	}
+}
+
+// TestFleetChaosDeterministic: the sweep's printable numbers must be
+// identical across runs and parallelism levels, crash victims included.
+func TestFleetChaosDeterministic(t *testing.T) {
+	type view struct {
+		label, mode                        string
+		es, yield                          float64
+		failed, evicted, placed, abandoned int
+	}
+	sweep := func(parallel int) []view {
+		cells, err := fleetChaosSweep(RunConfig{Seed: 42, Quick: true, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vs []view
+		for _, c := range cells {
+			vs = append(vs, view{c.label, c.mode, c.run.GlobalES, c.run.GlobalYield,
+				c.run.Stats.FailedNodes, c.run.Evictions, c.run.Replacements, c.run.Abandoned})
+		}
+		return vs
+	}
+	a, b, c := sweep(1), sweep(7), sweep(0)
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+		t.Error("ext-fleetchaos sweep differs across -parallel 1/7/default")
+	}
+}
